@@ -1,0 +1,45 @@
+"""Benchmark-session plumbing.
+
+Each benchmark registers its :class:`ExperimentRecord`; at session end the
+rendered tables are printed to the terminal (uncaptured) and written under
+``benchmarks/results/`` so ``bench_output.txt`` carries the same rows the
+paper's tables and figures report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+_RECORDS = []
+_RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def record_experiment():
+    """Register an ExperimentRecord for end-of-session reporting."""
+
+    def _register(rec):
+        _RECORDS.append(rec)
+        _RESULTS_DIR.mkdir(exist_ok=True)
+        (_RESULTS_DIR / f"{rec.exp_id}.txt").write_text(rec.render() + "\n")
+        return rec
+
+    return _register
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _RECORDS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("=" * 78)
+    terminalreporter.write_line(
+        "REPRODUCED TABLES AND FIGURES (simulated machine — compare shapes,"
+    )
+    terminalreporter.write_line("not absolute seconds; see EXPERIMENTS.md)")
+    terminalreporter.write_line("=" * 78)
+    for rec in _RECORDS:
+        terminalreporter.write_line("")
+        for line in rec.render().splitlines():
+            terminalreporter.write_line(line)

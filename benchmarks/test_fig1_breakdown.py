@@ -1,0 +1,22 @@
+"""Fig. 1: stage breakdown — original vs optimized (±overlap) HipMCL."""
+
+from repro.bench.harness import FIG1_STAGES, fig1_breakdown
+
+
+def test_fig1_breakdown(benchmark, record_experiment):
+    rec = benchmark.pedantic(fig1_breakdown, rounds=1, iterations=1)
+    record_experiment(rec)
+    by_config = {row[0]: row for row in rec.rows}
+    orig = by_config["HipMCL"]
+    no_ovl = by_config["Optimized (no overlap)"]
+    ovl = by_config["Optimized (overlap)"]
+    total = 1 + len(FIG1_STAGES)
+    # Order of the three bars (paper Fig. 1): original >> no-overlap >= overlap.
+    assert orig[total] > no_ovl[total] >= ovl[total]
+    # Order-of-magnitude end-to-end gain, as the paper's 12.4x headline.
+    assert orig[total] / ovl[total] > 6.0
+    # Local SpGEMM + memory estimation dominate the original (~90%).
+    spgemm_idx = 1 + FIG1_STAGES.index("local_spgemm")
+    est_idx = 1 + FIG1_STAGES.index("mem_estimation")
+    busy = sum(orig[1 + i] for i in range(len(FIG1_STAGES)))
+    assert (orig[spgemm_idx] + orig[est_idx]) / busy > 0.7

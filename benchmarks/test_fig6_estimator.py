@@ -1,0 +1,28 @@
+"""Fig. 6: probabilistic memory estimation — error and runtime."""
+
+import numpy as np
+
+from repro.bench.harness import fig6_estimator
+
+
+def test_fig6_estimator(benchmark, record_experiment):
+    rec = benchmark.pedantic(fig6_estimator, rounds=1, iterations=1)
+    record_experiment(rec)
+    keys = (3, 5, 7, 10)
+    # columns: network, iter, err r=3..10, t exact, t r=3..10
+    errs = {r: [] for r in keys}
+    for row in rec.rows:
+        for idx, r in enumerate(keys):
+            errs[r].append(row[2 + idx])
+    # Paper: "relatively few keys get within ~10% of the correct value";
+    # medians must be small and shrink (weakly) as r grows.
+    assert np.median(errs[10]) < 15.0
+    assert np.median(errs[10]) <= np.median(errs[3]) + 2.0
+    # Runtime: cumulative probabilistic cost is linear in r —
+    # t(r=10) ≈ (10/3)·t(r=3) at the last iteration.
+    last = rec.rows[-1]
+    t3, t10 = last[7], last[10]
+    assert 2.0 < t10 / t3 < 4.5
+    # Probabilistic is much cheaper than exact over the whole run on a
+    # dense network (where cf is large).
+    assert last[7] < last[6]

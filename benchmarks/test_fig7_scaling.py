@@ -1,0 +1,20 @@
+"""Fig. 7: strong scaling of the optimized HipMCL."""
+
+from repro.bench.harness import fig7_strong_scaling
+
+
+def test_fig7_strong_scaling(benchmark, record_experiment):
+    rec = benchmark.pedantic(fig7_strong_scaling, rounds=1, iterations=1)
+    record_experiment(rec)
+    nets = {}
+    for row in rec.rows:
+        nets.setdefault(row[0], []).append(row)
+    for net, rows in nets.items():
+        rows.sort(key=lambda r: r[1])
+        times = [r[2] for r in rows]
+        # Runtime decreases with node count ...
+        assert all(a > b for a, b in zip(times, times[1:])), net
+        # ... sublinearly: efficiency at the largest point is between 25%
+        # and 100% (the paper sees 49% / 57%).
+        eff = float(rows[-1][4].rstrip("%")) / 100
+        assert 0.25 <= eff <= 1.0, (net, eff)

@@ -1,0 +1,24 @@
+"""Fig. 8: per-stage strong-scaling behaviour."""
+
+from repro.bench.harness import FIG8_STAGES, fig8_stage_scaling
+
+
+def test_fig8_stage_scaling(benchmark, record_experiment):
+    rec = benchmark.pedantic(fig8_stage_scaling, rounds=1, iterations=1)
+    record_experiment(rec)
+    nets = {}
+    for row in rec.rows:
+        nets.setdefault(row[0], []).append(row)
+    spgemm_idx = 2 + FIG8_STAGES.index("local_spgemm")
+    bcast_idx = 2 + FIG8_STAGES.index("summa_bcast")
+    est_idx = 2 + FIG8_STAGES.index("mem_estimation")
+    for net, rows in nets.items():
+        rows.sort(key=lambda r: r[1])
+        last = rows[-1]
+        # Local SpGEMM scales; the broadcast barely does — it is the
+        # scalability bottleneck family the paper identifies.
+        assert last[spgemm_idx] > last[bcast_idx], net
+        assert last[spgemm_idx] > 1.2, net  # spgemm actually sped up
+        # Memory estimation also scales worse than the SpGEMM it guards
+        # (the paper's "more serious bottleneck").
+        assert last[est_idx] < last[spgemm_idx], net

@@ -1,0 +1,18 @@
+"""Table III: peak merge memory, multiway vs binary merge."""
+
+import numpy as np
+
+from repro.bench.harness import table3_merge_memory
+
+
+def test_table3_merge_memory(benchmark, record_experiment):
+    rec = benchmark.pedantic(table3_merge_memory, rounds=1, iterations=1)
+    record_experiment(rec)
+    improvements = []
+    for row in rec.rows:
+        _, _, multiway, binary, imp = row
+        assert binary <= multiway * 1.0001  # binary never needs more
+        improvements.append(float(imp.rstrip("%")))
+    # The paper reports 15-25% savings; our block structure differs, so we
+    # assert the direction and a material median saving.
+    assert np.median(improvements) >= 10.0

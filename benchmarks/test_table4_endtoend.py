@@ -1,0 +1,19 @@
+"""Table IV: end-to-end runtime, original vs optimized HipMCL."""
+
+from repro.bench.harness import FAST, table4_endtoend
+
+
+def test_table4_endtoend(benchmark, record_experiment):
+    rec = benchmark.pedantic(table4_endtoend, rounds=1, iterations=1)
+    record_experiment(rec)
+    speedups = {}
+    for row in rec.rows:
+        net, _, orig, opt, speedup = row
+        assert opt < orig
+        speedups[net] = float(speedup.rstrip("x"))
+    if not FAST:
+        # The headline instance gains an order of magnitude ...
+        assert speedups["isom100-1-xs"] > 6.0
+        # ... and dense (high-cf, GPU-friendly) isom beats sparse
+        # metaclust, as §VII-E argues.
+        assert speedups["isom100-xs"] > speedups["metaclust50-xs"]

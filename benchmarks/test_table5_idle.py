@@ -1,0 +1,29 @@
+"""Table V: CPU and GPU idle times in the pipelined SUMMA."""
+
+from repro.bench.harness import FAST, table5_idle
+
+
+def test_table5_idle(benchmark, record_experiment):
+    rec = benchmark.pedantic(table5_idle, rounds=1, iterations=1)
+    record_experiment(rec)
+    assert rec.rows
+    for row in rec.rows:
+        _, _, cpu_idle, gpu_idle = row
+        assert cpu_idle >= 0 and gpu_idle >= 0
+    if not FAST:
+        # The paper's density argument ("the difference between the CPU
+        # and GPU idle times is larger in the isom100-1 network because
+        # this network is denser"): the dense analog's CPU/GPU idle ratio
+        # must exceed the sparse analog's at the smallest node count.
+        # (The paper additionally sees CPU idle > GPU idle in absolute
+        # terms; at our workload scale the 100-node blocks are not
+        # compute-dominant enough for the absolute inversion — recorded
+        # as a deviation in the experiment note.)
+        by_net = {}
+        for row in rec.rows:
+            by_net.setdefault(row[0], []).append(row)
+        isom = sorted(by_net["isom100-1-xs"], key=lambda r: r[1])[0]
+        meta = sorted(by_net["metaclust50-xs"], key=lambda r: r[1])[0]
+        isom_ratio = isom[2] / max(isom[3], 1e-12)
+        meta_ratio = meta[2] / max(meta[3], 1e-12)
+        assert isom_ratio > meta_ratio

@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Study: which SpGEMM kernel wins where (the paper's §III/§VI recipe).
+
+Sweeps synthetic SpGEMM instances across the compression-factor (cf) and
+flops axes, times every kernel under the calibrated machine model, and
+prints the winner per regime — the empirical basis of the hybrid
+selector's thresholds (Fig. 4 and the §VII-B discussion).
+
+Also cross-checks that every kernel produces the identical product.
+
+Run:  python examples/kernel_selection_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.machine import SUMMIT_LIKE
+from repro.sparse import csc_from_triples
+from repro.spgemm import (
+    KernelKind,
+    hash_operation_count,
+    heap_operation_count,
+    select_kernel,
+    spgemm_esc,
+    work_profile,
+)
+from repro.util import format_table
+
+
+def instance_with_cf(n: int, row_pool: int, cols_sel: int, seed: int):
+    """Build A (n×n) whose square has a controllable compression factor.
+
+    Columns draw their row patterns from a pool of ``row_pool`` distinct
+    patterns: a small pool makes columns collide heavily (large cf), a
+    large pool keeps products distinct (cf near 1).
+    """
+    rng = np.random.default_rng(seed)
+    pool = [
+        rng.choice(n, size=cols_sel, replace=False)
+        for _ in range(row_pool)
+    ]
+    rows, cols = [], []
+    for j in range(n):
+        pattern = pool[rng.integers(0, row_pool)]
+        rows.append(pattern)
+        cols.append(np.full(len(pattern), j))
+    rows = np.concatenate(rows)
+    cols = np.concatenate(cols)
+    vals = rng.uniform(0.1, 1.0, size=len(rows))
+    return csc_from_triples((n, n), rows, cols, vals)
+
+
+def model_times(a, b, spec=SUMMIT_LIKE):
+    """Modeled node-level seconds for every kernel on C = A·B."""
+    product = spgemm_esc(a, b)
+    prof = work_profile(a, b, product.nnz)
+    threads = spec.cores_per_node
+    g = spec.gpus_per_node
+    input_bytes = a.memory_bytes() + b.memory_bytes()
+    times = {
+        "cpu-heap": spec.cpu_spgemm_time(
+            KernelKind.CPU_HEAP, heap_operation_count(a, b), threads
+        ),
+        "cpu-hash": spec.cpu_spgemm_time(
+            KernelKind.CPU_HASH,
+            hash_operation_count(a, b, product.nnz),
+            threads,
+        ),
+    }
+    for kind in (
+        KernelKind.GPU_BHSPARSE,
+        KernelKind.GPU_NSPARSE,
+        KernelKind.GPU_RMERGE2,
+    ):
+        # B's columns split across the node's GPUs (§III-A).
+        times[kind.value] = spec.gpu_spgemm_time(
+            kind, prof.flops / g, prof.cf, input_bytes // g
+        ) + spec.h2d_time(input_bytes) + spec.d2h_time(
+            product.memory_bytes()
+        )
+    return prof, times
+
+
+def main() -> None:
+    spec = SUMMIT_LIKE
+    regimes = [
+        ("tiny, dense-ish", instance_with_cf(60, 4, 12, 1)),
+        ("small cf", instance_with_cf(600, 580, 12, 2)),
+        ("medium cf", instance_with_cf(600, 60, 14, 3)),
+        ("large cf", instance_with_cf(600, 8, 16, 4)),
+        ("huge cf", instance_with_cf(900, 4, 24, 5)),
+    ]
+    rows = []
+    for label, a in regimes:
+        prof, times = model_times(a, a, spec)
+        winner = min(times, key=times.get)
+        chosen = select_kernel(prof, policy=spec.selection_policy())
+        rows.append(
+            [
+                label,
+                prof.flops,
+                f"{prof.cf:.1f}",
+                *[f"{times[k] * 1e6:.0f}" for k in (
+                    "cpu-heap", "cpu-hash", "bhsparse", "nsparse", "rmerge2"
+                )],
+                winner,
+                chosen.value,
+            ]
+        )
+        # Cross-check numerics: all kernels agree bit-for-pattern.
+        from repro.spgemm import run_kernel
+
+        ref = spgemm_esc(a, a)
+        for kind in KernelKind:
+            assert run_kernel(kind, a, a).same_pattern_and_values(
+                ref, tol=1e-9
+            ), kind
+    print(
+        format_table(
+            [
+                "regime", "flops", "cf", "t heap (us)", "t hash",
+                "t bhsparse", "t nsparse", "t rmerge2", "model winner",
+                "hybrid picks",
+            ],
+            rows,
+            title="Kernel landscape under the calibrated machine model",
+        )
+    )
+    print(
+        "\nReading: hash tables overtake heaps as cf grows (§VI); the GPU "
+        "pays off once flops saturate it (§III); nsparse rules large cf, "
+        "rmerge2 small cf (§VII-B). The 'hybrid picks' column is the "
+        "library's dynamic selection."
+    )
+
+
+if __name__ == "__main__":
+    main()

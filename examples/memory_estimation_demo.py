@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Demo: Cohen's probabilistic output-size estimation on a real MCL run.
+
+Follows the paper's §V / Fig. 6 experiment on a small scale: run MCL on a
+catalog network, and at every iteration compare the probabilistic nnz
+estimate (r ∈ {3, 5, 7, 10} exponential keys) against the exact symbolic
+count, reporting both the relative error and the modeled runtimes — the
+crossover (probabilistic wins early at large cf, exact wins late at small
+cf) is the reason the optimized HipMCL uses the *hybrid* estimator.
+
+Run:  python examples/memory_estimation_demo.py
+"""
+
+from __future__ import annotations
+
+from repro.machine import SUMMIT_LIKE
+from repro.mcl import markov_cluster
+from repro.nets import entry, load
+from repro.spgemm import estimate_nnz, relative_error, symbolic_nnz
+from repro.spgemm.metrics import flops as flops_of
+from repro.util import format_table
+
+KEYS = (3, 5, 7, 10)
+
+
+def main() -> None:
+    name = "archaea-xs"
+    net = load(name, seed=0)
+    options = entry(name).options()
+    spec = SUMMIT_LIKE
+    threads = spec.cores_per_node
+
+    rows = []
+
+    def probe(work, iteration):
+        exact = symbolic_nnz(work, work)
+        f = flops_of(work, work)
+        cf = f / exact if exact else 1.0
+        t_exact = spec.symbolic_time(f, threads)
+        cells = [iteration, work.nnz, f"{cf:.1f}"]
+        for r in KEYS:
+            est = estimate_nnz(work, work, keys=r, seed=100 + iteration)
+            cells.append(f"{relative_error(est.total, exact):.1f}%")
+        cells.append(f"{t_exact * 1e3:.2f}")
+        for r in KEYS:
+            t = spec.estimator_time(
+                float(r) * 2 * work.nnz, threads
+            )
+            cells.append(f"{t * 1e3:.2f}")
+        rows.append(cells)
+
+    result = markov_cluster(net.matrix, options, iterate_callback=probe)
+    print(
+        f"{name}: {result.iterations} MCL iterations "
+        f"({result.n_clusters} clusters)\n"
+    )
+    print(
+        format_table(
+            ["iter", "nnz", "cf",
+             *[f"err r={r}" for r in KEYS],
+             "t exact (ms)",
+             *[f"t r={r}" for r in KEYS]],
+            rows,
+            title="Probabilistic vs exact memory estimation per iteration",
+        )
+    )
+    print(
+        "\nReading: a handful of keys stays within ~10% (top of Fig. 6); "
+        "the probabilistic scheme's cost is flat in cf while the exact "
+        "pass costs O(flops) — compare the runtime columns early (large "
+        "cf) vs late (cf→1), which is §VII-D's recipe for switching to "
+        "the exact scheme when cf drops."
+    )
+
+
+if __name__ == "__main__":
+    main()

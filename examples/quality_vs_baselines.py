@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Why biologists pay for MCL: output quality vs cheap baselines.
+
+The paper's introduction motivates HipMCL with MCL's cluster quality —
+faster heuristics "output lower quality clusters".  This example
+quantifies that on a *noisy* planted protein-family network (weight
+distributions overlap, heavy cross-family noise), comparing MCL at
+several inflation settings against weighted label propagation and raw
+connected components, using ARI / NMI against the planted truth plus
+modularity.
+
+Run:  python examples/quality_vs_baselines.py
+"""
+
+from __future__ import annotations
+
+from repro.mcl import (
+    MclOptions,
+    component_clustering,
+    label_propagation,
+    markov_cluster,
+    quality_report,
+)
+from repro.nets import planted_network
+from repro.util import format_table
+
+
+def main() -> None:
+    net = planted_network(
+        500,
+        intra_degree=14.0,
+        inter_degree=6.0,  # heavy cross-family noise
+        intra_weight_mu=0.5,
+        inter_weight_mu=-0.5,
+        weight_sigma=1.0,  # overlapping similarity-score distributions
+        min_cluster=10,
+        max_cluster=50,
+        seed=17,
+        name="noisy-families",
+    )
+    print(
+        f"noisy network: {net.n_vertices} proteins, {net.n_edges} edges, "
+        f"{net.n_true_clusters} planted families\n"
+    )
+
+    rows = []
+
+    def record(label, labels):
+        rep = quality_report(net.matrix, labels, net.true_labels)
+        rows.append(
+            [
+                label,
+                int(rep["n_clusters"]),
+                f"{rep['ari']:.3f}",
+                f"{rep['nmi']:.3f}",
+                f"{rep['modularity']:.3f}",
+            ]
+        )
+
+    for inflation in (1.3, 1.5, 2.0, 3.0):
+        res = markov_cluster(
+            net.matrix,
+            MclOptions(inflation=inflation, select_number=30),
+        )
+        record(f"MCL (inflation {inflation})", res.labels)
+    record("label propagation", label_propagation(net.matrix, seed=0))
+    record("connected components", component_clustering(net.matrix))
+
+    print(
+        format_table(
+            ["method", "clusters", "ARI", "NMI", "modularity"],
+            rows,
+            title="Recovery of the planted families (higher is better)",
+        )
+    )
+    print(
+        "\nReading: MCL's inflation knob trades granularity for recovery; "
+        "at the right setting it beats label propagation on noisy data, "
+        "while components collapse into one blob (ARI ≈ 0). This is the "
+        "quality premium §I says forces biologists to scale MCL rather "
+        "than switch algorithms."
+    )
+
+
+if __name__ == "__main__":
+    main()

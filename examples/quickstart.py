@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Quickstart: cluster a protein-similarity-like network with MCL.
+
+Generates a small planted-cluster network (the synthetic stand-in for the
+paper's protein similarity graphs), clusters it with the sequential
+reference MCL, and compares the result against the planted ground truth.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mcl import MclOptions, markov_cluster
+from repro.nets import planted_network
+
+
+def main() -> None:
+    # A 500-protein network: ~25 similarity hits per protein within its
+    # family, ~1 spurious cross-family hit.
+    net = planted_network(
+        500,
+        intra_degree=25.0,
+        inter_degree=1.0,
+        min_cluster=8,
+        max_cluster=60,
+        seed=7,
+        name="quickstart",
+    )
+    print(
+        f"network: {net.n_vertices} vertices, {net.n_edges} edges, "
+        f"{net.n_true_clusters} planted families"
+    )
+
+    # The paper's settings: inflation 2, cutoff pruning, top-k selection.
+    options = MclOptions(
+        inflation=2.0,
+        prune_threshold=1e-4,
+        select_number=30,
+    )
+    result = markov_cluster(net.matrix, options)
+
+    print(
+        f"MCL: {result.iterations} iterations, converged={result.converged}, "
+        f"{result.n_clusters} clusters"
+    )
+    print("\nper-iteration work profile (what drives the paper's kernels):")
+    print(f"{'iter':>4} {'nnz':>8} {'flops':>10} {'cf':>6} {'chaos':>9}")
+    for h in result.history:
+        print(
+            f"{h.index:>4} {h.nnz_in:>8} {h.flops:>10} {h.cf:>6.1f} "
+            f"{h.chaos:>9.2e}"
+        )
+
+    # How well did we recover the planted families?
+    clusters = result.clusters()
+    sizes = [len(c) for c in clusters[:10]]
+    print(f"\nlargest clusters: {sizes}")
+    agreement = _pair_agreement(result.labels, net.true_labels)
+    print(f"pairwise agreement with planted truth: {agreement:.1%}")
+
+
+def _pair_agreement(a: np.ndarray, b: np.ndarray, samples: int = 20000) -> float:
+    """Fraction of random vertex pairs on which two labelings agree."""
+    rng = np.random.default_rng(0)
+    i = rng.integers(0, len(a), size=samples)
+    j = rng.integers(0, len(a), size=samples)
+    keep = i != j
+    i, j = i[keep], j[keep]
+    return float(np.mean((a[i] == a[j]) == (b[i] == b[j])))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Preview of the paper's future work: split-3-D SpGEMM vs 2-D SUMMA.
+
+§VII-E suggests 3-D SpGEMM to cut the broadcast bottleneck at large
+concurrencies; §II warns the 2-D→3-D redistribution may not amortize for
+sparse inputs.  This example *measures* both effects on the simulated
+machine, multiplying a real expansion-shaped matrix on 64 virtual
+processes under the 2-D pipelined engine and the split-3-D engine at
+several layer counts.
+
+Run:  python examples/summa_3d_preview.py
+"""
+
+from __future__ import annotations
+
+from repro.machine import SUMMIT_LIKE
+from repro.mcl import MclOptions, prepare_matrix
+from repro.mpi import ProcessGrid, VirtualComm
+from repro.nets import planted_network
+from repro.summa import (
+    DistributedCSC,
+    SummaConfig,
+    summa3d_multiply,
+    summa_multiply,
+)
+from repro.util import format_table
+
+
+def main() -> None:
+    net = planted_network(
+        600, intra_degree=30.0, inter_degree=2.0, seed=13,
+        min_cluster=10, max_cluster=80,
+    )
+    work = prepare_matrix(net.matrix, MclOptions())
+    procs = 64
+    cfg = SummaConfig()
+    rows = []
+
+    # 2-D pipelined baseline.
+    comm = VirtualComm(procs, SUMMIT_LIKE)
+    da = DistributedCSC.from_global(work, ProcessGrid.for_processes(procs))
+    res2d = summa_multiply(da, da, comm, cfg)
+    means = comm.account_means()
+    rows.append(
+        ["2-D pipelined", "-", comm.elapsed(),
+         means.get("summa_bcast", 0.0), 0.0, 0.0]
+    )
+    reference = res2d.dist_c.to_global()
+
+    for layers in (4, 16):  # 64/c must stay a perfect square
+        comm3 = VirtualComm(procs, SUMMIT_LIKE)
+        res3d = summa3d_multiply(work, work, comm3, cfg, layers)
+        assert res3d.matrix.same_pattern_and_values(reference, tol=1e-9)
+        means3 = comm3.account_means()
+        rows.append(
+            [
+                f"3-D, c={layers}",
+                f"{procs // layers} per layer",
+                comm3.elapsed(),
+                means3.get("summa_bcast", 0.0),
+                res3d.fiber_combine_seconds,
+                res3d.redistribution_seconds,
+            ]
+        )
+    print(
+        format_table(
+            ["scheme", "layer grids", "makespan (s)", "bcast (s)",
+             "fiber combine (s)", "redistribution (s)"],
+            rows,
+            title=f"One expansion on {procs} virtual processes "
+            "(identical numeric results, verified)",
+        )
+    )
+    print(
+        "\nReading: layers shrink the broadcast term (§VII-E) but add the "
+        "fiber combine and the one-time redistribution (§II) — whether "
+        "3-D wins depends on how many multiplies amortize that setup, "
+        "which is why HipMCL stayed 2-D."
+    )
+
+
+if __name__ == "__main__":
+    main()

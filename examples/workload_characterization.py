@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Characterize the catalog workloads the way the paper reasons about them.
+
+For each Table-I analog this prints the structural quantities that drive
+every design decision in the paper: nonzeros-per-column statistics (the
+heap-vs-hash regime of §VI), the squaring flops and their concentration
+(load balance across SUMMA stages), and block hypersparsity at growing
+process counts (when DCSC's doubly compressed pointers pay off, §III-B).
+
+Run:  python examples/workload_characterization.py
+"""
+
+from __future__ import annotations
+
+from repro.nets import CATALOG, load
+from repro.sparse import (
+    ColumnProfile,
+    block_imbalance,
+    hypersparsity,
+    squaring_profile,
+)
+from repro.util import format_table
+
+
+def main() -> None:
+    rows = []
+    hyper_rows = []
+    for name in CATALOG:
+        net = load(name, seed=0)
+        mat = net.matrix
+        prof = ColumnProfile.of(mat)
+        sq = squaring_profile(mat)
+        rows.append(
+            [
+                name,
+                mat.nrows,
+                mat.nnz,
+                f"{prof.mean:.1f}",
+                prof.maximum,
+                f"{sq['flops'] / 1e6:.1f}M",
+                f"{sq['flops_top1pct'] * 100:.1f}%",
+                f"{block_imbalance(mat, 64):.2f}",
+            ]
+        )
+        for procs in (16, 256, 4096):
+            h = hypersparsity(mat, procs)
+            hyper_rows.append(
+                [
+                    name,
+                    procs,
+                    f"{h['nnz_per_block']:.0f}",
+                    f"{h['cols_per_block']:.0f}",
+                    f"{h['fill_ratio']:.2f}",
+                    "DCSC" if h["dcsc_recommended"] else "CSC",
+                ]
+            )
+    print(
+        format_table(
+            ["network", "n", "nnz", "nnz/col", "max col",
+             "squaring flops", "flops in top 1% cols", "imbalance@64"],
+            rows,
+            title="Workload structure (drives §VI kernel choice and SUMMA "
+            "load balance)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["network", "#procs", "nnz/block", "cols/block", "fill",
+             "format"],
+            hyper_rows,
+            title="2-D block hypersparsity (when DCSC pays off, §III-B)",
+        )
+    )
+    print(
+        "\nReading: the isom analogs are the dense, GPU-friendly regime "
+        "(high nnz/col → large cf); metaclust50 is the sparse regime "
+        "where rmerge2/heap stay competitive; and every network's blocks "
+        "turn hypersparse at large P — the reason CombBLAS stores DCSC."
+    )
+
+
+if __name__ == "__main__":
+    main()

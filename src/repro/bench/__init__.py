@@ -1,0 +1,13 @@
+"""Benchmark harness: one experiment runner per table/figure of the paper,
+returning printable :class:`ExperimentRecord` objects."""
+
+from .harness import ALL_EXPERIMENTS, cached_run, load_network, reference_run
+from .records import ExperimentRecord
+
+__all__ = [
+    "ExperimentRecord",
+    "ALL_EXPERIMENTS",
+    "cached_run",
+    "load_network",
+    "reference_run",
+]

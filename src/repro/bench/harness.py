@@ -1,0 +1,934 @@
+"""Experiment runners: one function per table/figure of the paper.
+
+Every function returns an :class:`ExperimentRecord` with the same rows or
+series the paper reports, plus a paper-vs-measured shape note.  Expensive
+simulated runs are cached in-process so experiments that share a run
+(Fig. 7 / Fig. 8 / Table V all read the same strong-scaling sweep) pay for
+it once per pytest session.
+
+Scale control: set ``REPRO_BENCH_FAST=1`` to shrink node sweeps and cap
+MCL iterations — useful while iterating; the recorded EXPERIMENTS.md
+numbers come from the full settings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+
+from ..machine.spec import SUMMIT_LIKE
+from ..mcl.hipmcl import HipMCLConfig, HipMCLResult, hipmcl
+from ..mcl.options import MclOptions
+from ..mcl.reference import markov_cluster
+from ..nets import catalog
+from .records import ExperimentRecord
+
+FAST = bool(int(os.environ.get("REPRO_BENCH_FAST", "0")))
+
+#: Iteration cap for the large-scale sweeps (the per-iteration stage
+#: proportions stabilize after the density peak, so the scaling shapes are
+#: unchanged; noted in every record that uses it).
+LARGE_RUN_ITERATIONS = 6 if FAST else 8
+
+MEDIUM_NETS = ("archaea-xs", "eukarya-xs", "isom100-3-xs")
+
+_RUN_CACHE: dict = {}
+_NET_CACHE: dict = {}
+_REF_CACHE: dict = {}
+
+
+def load_network(name: str, seed: int = 0):
+    key = (name, seed)
+    if key not in _NET_CACHE:
+        _NET_CACHE[key] = catalog.load(name, seed=seed)
+    return _NET_CACHE[key]
+
+
+def options_for(name: str, max_iterations: int | None = None) -> MclOptions:
+    opts = catalog.entry(name).options()
+    if max_iterations is not None:
+        opts = dataclasses.replace(opts, max_iterations=max_iterations)
+    return opts
+
+
+def cached_run(
+    net_name: str,
+    nodes: int,
+    *,
+    variant: str = "optimized",
+    max_iterations: int | None = None,
+    seed: int = 0,
+    **config_kwargs,
+) -> HipMCLResult:
+    """Run (or fetch) one simulated HipMCL execution.
+
+    ``variant`` is "original", "optimized", "optimized-no-overlap", or
+    "custom" (all knobs from ``config_kwargs``).
+    """
+    key = (
+        net_name, nodes, variant, max_iterations, seed,
+        tuple(sorted(config_kwargs.items())),
+    )
+    if key in _RUN_CACHE:
+        return _RUN_CACHE[key]
+    entry = catalog.entry(net_name)
+    net = load_network(net_name, seed=seed)
+    base = dict(memory_budget_bytes=entry.memory_budget_bytes)
+    base.update(config_kwargs)
+    if variant == "original":
+        cfg = HipMCLConfig.original(nodes=nodes, **base)
+    elif variant == "optimized":
+        cfg = HipMCLConfig.optimized(nodes=nodes, **base)
+    elif variant == "optimized-no-overlap":
+        cfg = HipMCLConfig.optimized(nodes=nodes, overlap=False, **base)
+    elif variant == "custom":
+        cfg = HipMCLConfig(nodes=nodes, **base)
+    else:
+        raise ValueError(f"unknown variant {variant!r}")
+    result = hipmcl(net.matrix, options_for(net_name, max_iterations), cfg)
+    _RUN_CACHE[key] = result
+    return result
+
+
+def reference_run(net_name: str, max_iterations: int = 20, callback=None):
+    """Sequential reference MCL on a catalog net (cached unless callback)."""
+    key = (net_name, max_iterations)
+    if callback is None and key in _REF_CACHE:
+        return _REF_CACHE[key]
+    net = load_network(net_name)
+    res = markov_cluster(
+        net.matrix,
+        options_for(net_name, max_iterations),
+        iterate_callback=callback,
+    )
+    if callback is None:
+        _REF_CACHE[key] = res
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 1 — stage breakdown, original vs optimized vs optimized-with-overlap
+# ---------------------------------------------------------------------------
+
+FIG1_STAGES = (
+    "local_spgemm", "mem_estimation", "summa_bcast", "merge", "prune",
+    "other",
+)
+
+
+def fig1_breakdown(
+    net_name: str = "isom100-1-xs", nodes: int = 100
+) -> ExperimentRecord:
+    """Fig. 1: time per stage for the three HipMCL configurations."""
+    if FAST:
+        net_name, nodes = "archaea-xs", 16
+    variants = [
+        ("HipMCL", "original"),
+        ("Optimized (no overlap)", "optimized-no-overlap"),
+        ("Optimized (overlap)", "optimized"),
+    ]
+    rec = ExperimentRecord(
+        exp_id="fig1",
+        title=f"Stage breakdown on {net_name} at {nodes} virtual nodes "
+        "(simulated seconds, mean per rank)",
+        headers=["configuration", *FIG1_STAGES, "total"],
+        paper_claim=(
+            "optimized HipMCL with overlap is 12.4x faster end-to-end on "
+            "isom100-1 at 100 Summit nodes; local SpGEMM and memory "
+            "estimation dominate the original (~90%)"
+        ),
+    )
+    totals = {}
+    for label, variant in variants:
+        res = cached_run(
+            net_name, nodes, variant=variant,
+            max_iterations=LARGE_RUN_ITERATIONS if not FAST else None,
+        )
+        totals[variant] = res.elapsed_seconds
+        rec.add_row(
+            label,
+            *[res.stage_means[s] for s in FIG1_STAGES],
+            res.elapsed_seconds,
+        )
+    speedup = totals["original"] / totals["optimized"]
+    orig = cached_run(
+        net_name, nodes, variant="original",
+        max_iterations=LARGE_RUN_ITERATIONS if not FAST else None,
+    )
+    dominant = (
+        orig.stage_means["local_spgemm"] + orig.stage_means["mem_estimation"]
+    ) / max(sum(orig.stage_means.values()), 1e-30)
+    rec.measured_claim = (
+        f"overall speedup {speedup:.1f}x; SpGEMM+estimation are "
+        f"{dominant * 100:.0f}% of the original's busy time"
+    )
+    rec.note(f"large runs capped at {LARGE_RUN_ITERATIONS} MCL iterations")
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — pipelined vs classic SUMMA timeline
+# ---------------------------------------------------------------------------
+
+
+def fig2_timeline() -> ExperimentRecord:
+    """Fig. 2: the measured event timeline of a 4-stage Sparse SUMMA,
+    classic vs pipelined, on one representative rank."""
+    from ..mpi.comm import VirtualComm
+    from ..mpi.grid import ProcessGrid
+    from ..sparse import random_csc
+    from ..summa.distmatrix import DistributedCSC
+    from ..summa.engine import SummaConfig, summa_multiply
+
+    a = random_csc((400, 400), 0.08, seed=5)
+    grid = ProcessGrid.for_processes(16)  # 4 stages
+    da = DistributedCSC.from_global(a, grid)
+    rec = ExperimentRecord(
+        exp_id="fig2",
+        title="4-stage SUMMA timeline, rank 0 (simulated microseconds)",
+        headers=["mode", "stage", "event", "start", "end"],
+        paper_claim=(
+            "pipelining overlaps stage-k GPU multiply with stage-(k+1) "
+            "broadcasts; CPU only waits for input transfers"
+        ),
+    )
+    overlap_us = {}
+    for mode, pipelined in (("classic", False), ("pipelined", True)):
+        comm = VirtualComm(16, SUMMIT_LIKE)
+        cfg = SummaConfig(
+            pipelined=pipelined, use_gpu=True, kernel="nsparse",
+            merge="binary" if pipelined else "multiway", trace=True,
+        )
+        res = summa_multiply(da, da, comm, cfg)
+        # Rank 0's view: it participates in the row-0 A-broadcast of every
+        # stage (roots are ranks 0..q-1) and runs its own GPU multiplies.
+        events = [
+            (stage, kind, start, end)
+            for (rank, phase, stage, kind, start, end) in res.trace
+            if (kind == "bcast_A" and rank < grid.q)
+            or (kind == "gpu_mult" and rank == 0)
+        ]
+        events.sort(key=lambda e: e[2])
+        for stage, kind, start, end in events:
+            rec.add_row(mode, stage + 1, kind, start * 1e6, end * 1e6)
+        # Overlap: broadcast time that runs while a GPU multiply is live.
+        mults = [(s, e) for _, k, s, e in events if k == "gpu_mult"]
+        overlap = 0.0
+        for _, k, s, e in events:
+            if k != "bcast_A":
+                continue
+            for ms, me in mults:
+                overlap += max(0.0, min(e, me) - max(s, ms))
+        overlap_us[mode] = overlap * 1e6
+    rec.measured_claim = (
+        f"broadcast time overlapped with GPU multiplies: "
+        f"classic {overlap_us['classic']:.1f}us vs pipelined "
+        f"{overlap_us['pipelined']:.1f}us"
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — local SpGEMM runtime by kernel scheme
+# ---------------------------------------------------------------------------
+
+FIG4_SCHEMES = (
+    ("cpu-hash", dict(kernel="hash", use_gpu=False)),
+    ("rmerge2", dict(kernel="rmerge2", use_gpu=True)),
+    ("bhsparse", dict(kernel="bhsparse", use_gpu=True)),
+    ("nsparse", dict(kernel="nsparse", use_gpu=True)),
+    ("hybrid", dict(kernel="hybrid", use_gpu=True)),
+)
+
+
+def fig4_local_spgemm(nets=MEDIUM_NETS, nodes: int = 16) -> ExperimentRecord:
+    """Fig. 4: total local-SpGEMM time per scheme and network."""
+    if FAST:
+        nets = ("archaea-xs",)
+    rec = ExperimentRecord(
+        exp_id="fig4",
+        title=f"Local SpGEMM time by scheme at {nodes} virtual nodes "
+        "(simulated seconds, mean per rank)",
+        headers=["network", *[s for s, _ in FIG4_SCHEMES],
+                 "best-gpu-speedup", "hybrid-speedup"],
+        paper_claim=(
+            "vs cpu-hash: rmerge2/bhsparse/nsparse up to 1.1x/2.6x/3.3x; "
+            "hybrid edges out nsparse (2.7->3.0x archaea, 3.0->3.2x eukarya)"
+        ),
+    )
+    worst_ratio = []
+    for net_name in nets:
+        times = {}
+        for scheme, kwargs in FIG4_SCHEMES:
+            res = cached_run(
+                net_name, nodes, variant="custom",
+                merge="binary", pipelined=True, estimator="hybrid",
+                **kwargs,
+            )
+            times[scheme] = res.stage_means["local_spgemm"]
+        base = times["cpu-hash"]
+        rec.add_row(
+            net_name,
+            *[times[s] for s, _ in FIG4_SCHEMES],
+            base / times["nsparse"],
+            base / times["hybrid"],
+        )
+        worst_ratio.append(base / times["hybrid"])
+    rec.measured_claim = (
+        "hybrid speedups vs cpu-hash: "
+        + ", ".join(f"{r:.2f}x" for r in worst_ratio)
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Table II — overlap efficiency
+# ---------------------------------------------------------------------------
+
+
+def table2_overlap(
+    nets=MEDIUM_NETS, node_counts=(16, 36, 64)
+) -> ExperimentRecord:
+    """Table II: SpGEMM / bcast / merge / overall in the pipelined SUMMA."""
+    if FAST:
+        nets, node_counts = ("archaea-xs",), (16,)
+    rec = ExperimentRecord(
+        exp_id="table2",
+        title="Overlap efficiency (simulated seconds)",
+        headers=["network", "#nodes", "SpGEMM", "bcast", "merge", "overall"],
+        paper_claim=(
+            "overall expansion time tracks the SpGEMM time (15-20% above "
+            "it): the CPU-side broadcast and merge are mostly hidden"
+        ),
+    )
+    ratios = []
+    for net_name in nets:
+        for nodes in node_counts:
+            res = cached_run(net_name, nodes, variant="optimized")
+            sp = res.stage_means["local_spgemm"]
+            overall = res.expansion_seconds
+            rec.add_row(
+                net_name, nodes, sp,
+                res.stage_means["summa_bcast"],
+                res.stage_means["merge"],
+                overall,
+            )
+            if sp > 0:
+                ratios.append(overall / sp)
+    rec.measured_claim = (
+        f"overall / SpGEMM ratio: median {np.median(ratios):.2f} "
+        f"(range {min(ratios):.2f}-{max(ratios):.2f})"
+    )
+    rec.note(
+        "'overall' is the expansion makespan and includes the fused "
+        "per-phase pruning, which the paper reports separately — expect "
+        "a somewhat larger overall/SpGEMM ratio than the paper's 1.15-1.20"
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 — thread-based vs process-based node management
+# ---------------------------------------------------------------------------
+
+FIG5_STAGES = (
+    "local_spgemm", "mem_estimation", "summa_bcast", "merge", "prune",
+)
+
+
+def fig5_threads_vs_processes(
+    nets=("eukarya-xs", "isom100-3-xs"), nodes: int = 16, gpus: int = 4
+) -> ExperimentRecord:
+    """Fig. 5: one fat process per node vs one process per GPU."""
+    if FAST:
+        nets = ("eukarya-xs",)
+    rec = ExperimentRecord(
+        exp_id="fig5",
+        title=f"Thread-based vs process-based management, {nodes} nodes, "
+        f"{gpus} GPUs/node (simulated seconds per stage)",
+        headers=["network", "setting", *FIG5_STAGES],
+        paper_claim=(
+            "thread-based wins every stage except pruning (13-50% faster "
+            "on isom100-3), process-based wins pruning by ~24%"
+        ),
+    )
+    wins = []
+    for net_name in nets:
+        rows = {}
+        for label, threaded in (("thread-based", True), ("process-based", False)):
+            res = cached_run(
+                net_name, nodes, variant="custom",
+                threaded_node=threaded, gpus_per_node=gpus,
+            )
+            rows[label] = [res.stage_means[s] for s in FIG5_STAGES]
+            rec.add_row(net_name, label, *rows[label])
+        thread_wins = [
+            t < p for t, p in zip(rows["thread-based"], rows["process-based"])
+        ]
+        wins.append((net_name, thread_wins))
+    rec.measured_claim = "; ".join(
+        f"{name}: thread-based wins "
+        + ",".join(
+            s for s, w in zip(FIG5_STAGES, flags) if w
+        )
+        for name, flags in wins
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Table III — merge peak memory
+# ---------------------------------------------------------------------------
+
+
+def table3_merge_memory(
+    nets=MEDIUM_NETS, nodes: int = 16, iterations: int = 10
+) -> ExperimentRecord:
+    """Table III: peak merge memory, multiway vs binary, per iteration."""
+    if FAST:
+        nets = ("archaea-xs",)
+    rec = ExperimentRecord(
+        exp_id="table3",
+        title=f"Peak merge memory (MB) in the first {iterations} MCL "
+        f"iterations at {nodes} virtual nodes",
+        headers=["network", "iter", "multiway", "binary", "improvement"],
+        paper_claim="binary merge needs 15-25% less peak memory",
+    )
+    imps = []
+    for net_name in nets:
+        runs = {
+            merge: cached_run(
+                net_name, nodes, variant="custom",
+                merge=merge, kernel="hybrid", pipelined=True,
+                max_iterations=iterations,
+            )
+            for merge in ("multiway", "binary")
+        }
+        for it in range(iterations):
+            if it >= len(runs["multiway"].history):
+                break
+            mway = runs["multiway"].history[it].merge_peak_event_elements
+            # Multiway's peak is the buffered total, not one merge event.
+            mway = max(
+                mway,
+                runs["multiway"].history[it].merge_peak_resident_elements,
+            )
+            binary = runs["binary"].history[it].merge_peak_event_elements
+            imp = (1 - binary / mway) * 100 if mway else 0.0
+            imps.append(imp)
+            rec.add_row(
+                net_name, it + 1,
+                mway * 24 / 2**20, binary * 24 / 2**20, f"{imp:.0f}%",
+            )
+    rec.measured_claim = (
+        f"binary merge improvement: median {np.median(imps):.0f}% "
+        f"(range {min(imps):.0f}%-{max(imps):.0f}%)"
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6 — probabilistic memory estimation: error and runtime
+# ---------------------------------------------------------------------------
+
+
+def fig6_estimator(
+    nets=MEDIUM_NETS, keys=(3, 5, 7, 10), iterations: int = 20
+) -> ExperimentRecord:
+    """Fig. 6: per-iteration relative error and cumulative runtime of the
+    probabilistic estimator vs the exact symbolic pass."""
+    from ..spgemm.estimator import estimate_nnz, relative_error
+    from ..spgemm.metrics import flops as flops_of
+    from ..spgemm.symbolic import symbolic_nnz
+
+    if FAST:
+        nets = ("archaea-xs",)
+    spec = SUMMIT_LIKE
+    threads = spec.cores_per_node
+    rec = ExperimentRecord(
+        exp_id="fig6",
+        title="Probabilistic estimation: relative error (%) per iteration "
+        "and cumulative runtime (simulated s, one 40-thread task)",
+        headers=["network", "iter", *[f"err r={r}" for r in keys],
+                 "t exact", *[f"t r={r}" for r in keys]],
+        paper_claim=(
+            "a few keys land within ~10% relative error; probabilistic is "
+            "faster than exact early (large cf) and slower late (small cf)"
+        ),
+    )
+    crossover_seen = []
+    for net_name in nets:
+        trajectory = []
+
+        def record(work, iteration):
+            trajectory.append(work)
+
+        reference_run(net_name, max_iterations=iterations, callback=record)
+        cum_exact = 0.0
+        cum_prob = {r: 0.0 for r in keys}
+        errs_all = {r: [] for r in keys}
+        faster_early = slower_late = False
+        for it, work in enumerate(trajectory, start=1):
+            exact = symbolic_nnz(work, work)
+            f = flops_of(work, work)
+            t_exact = spec.symbolic_time(f, threads)
+            cum_exact += t_exact
+            errs = {}
+            for r in keys:
+                est = estimate_nnz(work, work, keys=r, seed=1000 + it)
+                errs[r] = relative_error(est.total, exact)
+                errs_all[r].append(errs[r])
+                t_prob = spec.estimator_time(est.operations, threads)
+                cum_prob[r] += t_prob
+                if r == 5:
+                    if t_prob < t_exact and it <= 5:
+                        faster_early = True
+                    if t_prob > t_exact and it >= len(trajectory) - 3:
+                        slower_late = True
+            rec.add_row(
+                net_name, it, *[errs[r] for r in keys],
+                cum_exact, *[cum_prob[r] for r in keys],
+            )
+        crossover_seen.append((net_name, faster_early and slower_late))
+        rec.note(
+            f"{net_name}: median error by r: "
+            + ", ".join(
+                f"r={r}: {np.median(errs_all[r]):.1f}%" for r in keys
+            )
+        )
+    rec.measured_claim = (
+        "probabilistic-faster-early / exact-faster-late crossover observed: "
+        + ", ".join(f"{n}={'yes' if c else 'no'}" for n, c in crossover_seen)
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Table IV — end-to-end runtimes, original vs optimized
+# ---------------------------------------------------------------------------
+
+
+def table4_endtoend() -> ExperimentRecord:
+    """Table IV: end-to-end original vs optimized on the large analogs."""
+    cases = [
+        ("isom100-1-xs", 100),
+        ("isom100-xs", 256),
+        ("metaclust50-xs", 256),
+    ]
+    if FAST:
+        cases = [("archaea-xs", 16)]
+    rec = ExperimentRecord(
+        exp_id="table4",
+        title="End-to-end runtime (simulated seconds), original vs "
+        "optimized HipMCL",
+        headers=["network", "#nodes", "original", "optimized", "speedup"],
+        paper_claim=(
+            "12.4x on isom100-1 at 100 nodes; larger gains on dense (high "
+            "cf) networks than on sparse metaclust50"
+        ),
+    )
+    speedups = {}
+    for net_name, nodes in cases:
+        orig = cached_run(
+            net_name, nodes, variant="original",
+            max_iterations=LARGE_RUN_ITERATIONS,
+        )
+        opt = cached_run(
+            net_name, nodes, variant="optimized",
+            max_iterations=LARGE_RUN_ITERATIONS,
+        )
+        speedup = orig.elapsed_seconds / opt.elapsed_seconds
+        speedups[net_name] = speedup
+        rec.add_row(
+            net_name, nodes, orig.elapsed_seconds, opt.elapsed_seconds,
+            f"{speedup:.1f}x",
+        )
+    if not FAST:
+        rec.measured_claim = (
+            f"isom100-1 analog speedup {speedups['isom100-1-xs']:.1f}x; "
+            f"dense isom100 {speedups['isom100-xs']:.1f}x vs sparse "
+            f"metaclust50 {speedups['metaclust50-xs']:.1f}x"
+        )
+        # The paper's actual metaclust50 comparison crosses machines:
+        # original HipMCL on Cori-KNL vs optimized on Summit.  Reproduce
+        # that admittedly-not-apples-to-apples row too.
+        from ..machine.spec import CORI_KNL_LIKE
+
+        cori = cached_run(
+            "metaclust50-xs", 256, variant="custom",
+            kernel="heap", merge="multiway", pipelined=False,
+            use_gpu=False, estimator="symbolic", spec=CORI_KNL_LIKE,
+            max_iterations=LARGE_RUN_ITERATIONS,
+        )
+        opt = cached_run(
+            "metaclust50-xs", 256, variant="optimized",
+            max_iterations=LARGE_RUN_ITERATIONS,
+        )
+        rec.add_row(
+            "metaclust50-xs (orig on Cori-KNL-like)", 256,
+            cori.elapsed_seconds, opt.elapsed_seconds,
+            f"{cori.elapsed_seconds / opt.elapsed_seconds:.1f}x",
+        )
+    rec.note(
+        "last row mirrors the paper's cross-machine comparison (original "
+        "on Cori-KNL vs optimized on Summit); the same-machine rows above "
+        f"are the controlled version; {LARGE_RUN_ITERATIONS} iterations"
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 / Fig. 8 / Table V — strong scaling sweeps (shared runs)
+# ---------------------------------------------------------------------------
+
+SCALING_SWEEP = {
+    "isom100-1-xs": (100, 196, 400),
+    "metaclust50-xs": (256, 529),
+}
+if FAST:
+    SCALING_SWEEP = {"archaea-xs": (16, 64)}
+
+
+def _sweep_runs():
+    return {
+        net: {
+            nodes: cached_run(
+                net, nodes, variant="optimized",
+                max_iterations=LARGE_RUN_ITERATIONS,
+            )
+            for nodes in counts
+        }
+        for net, counts in SCALING_SWEEP.items()
+    }
+
+
+def fig7_strong_scaling() -> ExperimentRecord:
+    """Fig. 7: total runtime vs node count, with ideal-scaling reference."""
+    rec = ExperimentRecord(
+        exp_id="fig7",
+        title="Strong scaling of optimized HipMCL (simulated seconds)",
+        headers=["network", "#nodes", "time", "ideal", "efficiency"],
+        paper_claim="efficiency 49% (isom100-1, 4x nodes) and 57% "
+        "(metaclust50, 2x nodes)",
+    )
+    effs = []
+    for net, runs in _sweep_runs().items():
+        counts = sorted(runs)
+        base_nodes = counts[0]
+        base_time = runs[base_nodes].elapsed_seconds
+        for nodes in counts:
+            t = runs[nodes].elapsed_seconds
+            ideal = base_time * base_nodes / nodes
+            eff = ideal / t
+            rec.add_row(net, nodes, t, ideal, f"{eff * 100:.0f}%")
+        last = counts[-1]
+        eff_last = (base_time * base_nodes / last) / runs[last].elapsed_seconds
+        effs.append((net, eff_last))
+    rec.measured_claim = ", ".join(
+        f"{n}: {e * 100:.0f}% at largest sweep point" for n, e in effs
+    )
+    rec.note(f"runs capped at {LARGE_RUN_ITERATIONS} MCL iterations")
+    return rec
+
+
+FIG8_STAGES = ("local_spgemm", "mem_estimation", "summa_bcast", "merge")
+
+
+def fig8_stage_scaling() -> ExperimentRecord:
+    """Fig. 8: per-stage speedups across the node sweep."""
+    rec = ExperimentRecord(
+        exp_id="fig8",
+        title="Per-stage strong scaling (speedup vs smallest node count)",
+        headers=["network", "#nodes", *FIG8_STAGES],
+        paper_claim=(
+            "memory estimation, SUMMA broadcast and merging scale worst; "
+            "estimation reaches ~2.5x the broadcast time at 400 nodes "
+            "(isom100-1)"
+        ),
+    )
+    est_vs_bcast = []
+    for net, runs in _sweep_runs().items():
+        counts = sorted(runs)
+        base = runs[counts[0]].stage_means
+        for nodes in counts:
+            sm = runs[nodes].stage_means
+            rec.add_row(
+                net, nodes,
+                *[
+                    (base[s] / sm[s]) if sm[s] > 0 else float("nan")
+                    for s in FIG8_STAGES
+                ],
+            )
+        last = runs[counts[-1]].stage_means
+        if last["summa_bcast"] > 0:
+            est_vs_bcast.append(
+                (net, last["mem_estimation"] / last["summa_bcast"])
+            )
+    rec.measured_claim = (
+        "estimation / broadcast time at largest node count: "
+        + ", ".join(f"{n}: {r:.1f}x" for n, r in est_vs_bcast)
+    )
+    return rec
+
+
+def table5_idle() -> ExperimentRecord:
+    """Table V: CPU and GPU idle times inside the pipelined SUMMA."""
+    rec = ExperimentRecord(
+        exp_id="table5",
+        title="CPU and GPU idle time inside the pipelined SUMMA sections "
+        "(simulated seconds, mean per rank)",
+        headers=["network", "#nodes", "CPU idle", "GPU idle"],
+        paper_claim=(
+            "CPU idle exceeds GPU idle, more so on the denser isom100-1 "
+            "(compute-bound: the CPU waits on the GPU)"
+        ),
+    )
+    gaps = []
+    for net, runs in _sweep_runs().items():
+        for nodes in sorted(runs):
+            res = runs[nodes]
+            rec.add_row(
+                net, nodes,
+                res.expansion_cpu_idle_seconds,
+                res.expansion_gpu_idle_seconds,
+            )
+        smallest = runs[sorted(runs)[0]]
+        if smallest.expansion_gpu_idle_seconds > 0:
+            gaps.append(
+                (
+                    net,
+                    smallest.expansion_cpu_idle_seconds
+                    / smallest.expansion_gpu_idle_seconds,
+                )
+            )
+    rec.measured_claim = "CPU/GPU idle ratio at smallest node count: " + (
+        ", ".join(f"{n}: {g:.1f}x" for n, g in gaps) if gaps else "n/a"
+    )
+    rec.note(
+        "the density ordering (denser net → higher CPU/GPU idle ratio) "
+        "reproduces; the paper's absolute CPU>GPU inversion does not at "
+        "this workload scale — at 100+ virtual nodes our scaled blocks "
+        "are less compute-dominant than the real isom100-1's (at 16 "
+        "nodes, where they are, CPU idle does exceed GPU idle)"
+    )
+    return rec
+
+
+# ---------------------------------------------------------------------------
+# Ablations (DESIGN.md design-choice studies beyond the paper's tables)
+# ---------------------------------------------------------------------------
+
+
+def ablation_phase_budget(
+    net_name: str = "archaea-xs", nodes: int = 16
+) -> ExperimentRecord:
+    """Phase-count sensitivity: memory budget vs phases vs runtime."""
+    rec = ExperimentRecord(
+        exp_id="ablation-phases",
+        title=f"Phased execution sensitivity on {net_name} at {nodes} nodes",
+        headers=["budget (KB)", "max phases", "elapsed (s)", "bcast (s)"],
+        paper_claim=(
+            "phases bound memory at the cost of re-broadcasting A "
+            "(§III); more phases → more broadcast time"
+        ),
+    )
+    budgets = (64, 256, 1024, 8192)
+    elapsed = []
+    for kb in budgets:
+        res = cached_run(
+            net_name, nodes, variant="optimized",
+            memory_budget_bytes=kb * 1024,
+        )
+        rec.add_row(
+            kb, max(h.phases for h in res.history),
+            res.elapsed_seconds, res.stage_means["summa_bcast"],
+        )
+        elapsed.append(res.elapsed_seconds)
+    rec.measured_claim = (
+        f"runtime grows {elapsed[0] / elapsed[-1]:.2f}x from the largest "
+        "to the smallest budget"
+    )
+    return rec
+
+
+def ablation_merge_schedules(
+    net_name: str = "eukarya-xs", nodes: int = 16
+) -> ExperimentRecord:
+    """Binary vs immediate two-way vs multiway merge inside full runs."""
+    rec = ExperimentRecord(
+        exp_id="ablation-merge",
+        title=f"Merge schedule comparison on {net_name} at {nodes} nodes",
+        headers=["schedule", "merge time (s)", "peak event (MB)",
+                 "elapsed (s)"],
+        paper_claim=(
+            "binary merge ~3-4% more merge ops than multiway but "
+            "overlappable and 15-25% lighter in memory; immediate two-way "
+            "does redundant passes (§IV)"
+        ),
+    )
+    for merge in ("multiway", "twoway", "binary"):
+        res = cached_run(
+            net_name, nodes, variant="custom", merge=merge,
+            kernel="hybrid", pipelined=True,
+        )
+        peak = max(h.merge_peak_event_elements for h in res.history)
+        rec.add_row(
+            merge, res.stage_means["merge"], peak * 24 / 2**20,
+            res.elapsed_seconds,
+        )
+    return rec
+
+
+def ablation_dcsc_storage() -> ExperimentRecord:
+    """DCSC vs CSC block storage across sparsity regimes.
+
+    DCSC pays off exactly when blocks are *hypersparse* (nnz per block far
+    below the block's column count) — the large-P regime CombBLAS was
+    designed for; on dense-blocked small grids plain CSC is fine.  Both
+    regimes are shown.
+    """
+    from ..mpi.grid import ProcessGrid
+    from ..summa.distmatrix import DistributedCSC
+
+    cases = [("isom100-3-xs", 16), ("metaclust50-xs", 1024),
+             ("metaclust50-xs", 4096)]
+    if FAST:
+        cases = [("archaea-xs", 16), ("archaea-xs", 4096)]
+    rec = ExperimentRecord(
+        exp_id="ablation-dcsc",
+        title="DCSC vs CSC block footprints across grid sizes",
+        headers=["network", "#nodes", "nnz/block", "cols/block",
+                 "CSC bytes", "DCSC bytes", "DCSC/CSC"],
+        paper_claim=(
+            "DCSC compresses the column pointers of hypersparse 2-D "
+            "blocks (§III-B; Buluç & Gilbert): essential at large P, "
+            "immaterial at small P"
+        ),
+    )
+    ratios = {}
+    for net_name, nodes in cases:
+        net = load_network(net_name)
+        grid = ProcessGrid.for_processes(nodes)
+        dist = DistributedCSC.from_global(net.matrix, grid)
+        dcsc_total = sum(
+            dist.to_dcsc_block(i, j).memory_bytes()
+            for i in range(grid.q)
+            for j in range(grid.q)
+        )
+        csc_total = sum(b.memory_bytes() for b in dist.blocks.values())
+        ratio = dcsc_total / csc_total
+        ratios[(net_name, nodes)] = ratio
+        rec.add_row(
+            net_name, nodes,
+            net.matrix.nnz // grid.size,
+            net.matrix.ncols // grid.q,
+            csc_total, dcsc_total, f"{ratio:.2f}x",
+        )
+    small = ratios[cases[0]]
+    big = ratios[cases[-1]]
+    rec.measured_claim = (
+        f"DCSC/CSC footprint {small:.2f}x at {cases[0][1]} nodes vs "
+        f"{big:.2f}x at {cases[-1][1]} nodes — compression appears with "
+        "hypersparsity"
+    )
+    return rec
+
+
+def ablation_3d_decomposition() -> ExperimentRecord:
+    """2-D vs 3-D communication under the machine model (§II / §VII-E).
+
+    Uses the measured nnz of the densest expansion of the isom100-1
+    analog so the operands are the real MCL regime.
+    """
+    from ..summa.analysis import compare_decompositions
+
+    ref = reference_run(
+        "archaea-xs" if FAST else "isom100-1-xs",
+        max_iterations=20,
+    )
+    dense_iter = max(ref.history, key=lambda h: h.flops)
+    sparse_iter = min(ref.history, key=lambda h: h.nnz_in)
+    rec = ExperimentRecord(
+        exp_id="ablation-3d",
+        title="2-D vs split-3-D communication, densest vs sparsest MCL "
+        "expansion (per-process seconds; best layer count per scale)",
+        headers=["instance", "#procs", "layers", "2d total", "3d bcast",
+                 "3d reduce", "3d redistribute", "bcast gain",
+                 "worth it (1 mult)"],
+        paper_claim=(
+            "§II: 3-D redistribution is unlikely to be amortized in the "
+            "sparse case; §VII-E: 3-D reduces the broadcast bottleneck at "
+            "large concurrencies"
+        ),
+    )
+
+    def best_layers(nnz_a, nnz_c, procs: int) -> int:
+        import math
+
+        best, best_cost = 2, float("inf")
+        c = 2
+        while procs // c >= 1:
+            per_layer = procs // c
+            if procs % c == 0 and math.isqrt(per_layer) ** 2 == per_layer:
+                out = compare_decompositions(nnz_a, nnz_c, procs, layers=c)
+                cost = out["3d_bcast"] + out["3d_reduction"]
+                if cost < best_cost:
+                    best, best_cost = c, cost
+            c += 1
+        return best
+
+    gains = []
+    savings = {"dense": [], "sparse": []}
+    for label, it in (("dense", dense_iter), ("sparse", sparse_iter)):
+        nnz_a, nnz_c = it.nnz_in, it.nnz_expanded
+        for procs in (64, 256, 1024, 4096):
+            layers = best_layers(nnz_a, nnz_c, procs)
+            out = compare_decompositions(
+                nnz_a, nnz_c, procs, layers=layers
+            )
+            if label == "dense":
+                gains.append((procs, out["bcast_reduction_factor"]))
+            savings[label].append(
+                out["2d_total"] - out["3d_amortized_total"]
+            )
+            rec.add_row(
+                label, procs, layers, out["2d_total"], out["3d_bcast"],
+                out["3d_reduction"], out["3d_redistribution"],
+                f"{out['bcast_reduction_factor']:.2f}x",
+                "yes" if out["worth_it"] else "no",
+            )
+    rec.measured_claim = (
+        "dense instance: 3-D broadcast gain grows with scale ("
+        + ", ".join(f"P={p}: {g:.2f}x" for p, g in gains)
+        + f"); absolute 3-D saving: sparse instance at most "
+        f"{max(savings['sparse']) * 1e6:.0f}us vs dense "
+        f"{max(savings['dense']) * 1e6:.0f}us per multiply"
+    )
+    rec.note(
+        "the α-β model alone does not reproduce §II's amortization "
+        "failure (it omits the constant-factor hypersparse pack/unpack "
+        "and memory costs that drive it in practice); what it does show "
+        "is that the sparse case has little to gain in absolute terms"
+    )
+    return rec
+
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_breakdown,
+    "fig2": fig2_timeline,
+    "fig4": fig4_local_spgemm,
+    "table2": table2_overlap,
+    "fig5": fig5_threads_vs_processes,
+    "table3": table3_merge_memory,
+    "fig6": fig6_estimator,
+    "table4": table4_endtoend,
+    "fig7": fig7_strong_scaling,
+    "fig8": fig8_stage_scaling,
+    "table5": table5_idle,
+    "ablation-phases": ablation_phase_budget,
+    "ablation-merge": ablation_merge_schedules,
+    "ablation-dcsc": ablation_dcsc_storage,
+    "ablation-3d": ablation_3d_decomposition,
+}

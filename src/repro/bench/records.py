@@ -1,0 +1,49 @@
+"""Structured experiment records for the benchmark harness.
+
+Every table/figure reproduction returns an :class:`ExperimentRecord` whose
+``render()`` prints the same rows/series the paper reports, plus a
+paper-vs-measured note on the *shape* claim being checked.  The benchmark
+files print these, and EXPERIMENTS.md is written from the same material.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Sequence
+
+from ..util.tables import format_table
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced table or figure."""
+
+    exp_id: str  # e.g. "table2", "fig4"
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence] = field(default_factory=list)
+    paper_claim: str = ""
+    measured_claim: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        parts = [
+            format_table(
+                self.headers, self.rows, title=f"[{self.exp_id}] {self.title}"
+            )
+        ]
+        if self.paper_claim:
+            parts.append(f"  paper:    {self.paper_claim}")
+        if self.measured_claim:
+            parts.append(f"  measured: {self.measured_claim}")
+        parts.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

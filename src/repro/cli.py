@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the HipMCL user's workflow:
+
+``generate``
+    Write a catalog network (or a custom planted network) to a
+    MatrixMarket file.
+``cluster``
+    Cluster a MatrixMarket network with the sequential reference MCL or a
+    simulated distributed HipMCL run, writing mcl-style cluster lines.
+``experiment``
+    Regenerate one of the paper's tables/figures and print it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Markov clustering for pre-exascale architectures — "
+            "reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a network file")
+    gen.add_argument(
+        "network",
+        help="catalog name (archaea-xs, ...) or 'planted:<n>:<deg>'",
+    )
+    gen.add_argument("-o", "--output", required=True, help="output .mtx path")
+    gen.add_argument("--seed", type=int, default=0)
+
+    clu = sub.add_parser(
+        "cluster", help="cluster a MatrixMarket or abc network file"
+    )
+    clu.add_argument(
+        "input",
+        help="MatrixMarket (.mtx) or mcl-style label-pair (.abc) file",
+    )
+    clu.add_argument("-o", "--output", help="cluster file (default stdout)")
+    clu.add_argument("--inflation", type=float, default=2.0)
+    clu.add_argument("--threshold", type=float, default=1e-4)
+    clu.add_argument("--select", type=int, default=1000, metavar="K")
+    clu.add_argument("--recover", type=int, default=0, metavar="R")
+    clu.add_argument("--max-iterations", type=int, default=100)
+    clu.add_argument(
+        "--mode",
+        choices=["reference", "optimized", "original", "cpu"],
+        default="reference",
+        help="sequential reference or a simulated distributed variant",
+    )
+    clu.add_argument(
+        "--nodes", type=int, default=16,
+        help="virtual node count for distributed modes (perfect square)",
+    )
+    clu.add_argument("--stats", action="store_true",
+                     help="print per-iteration work statistics")
+
+    exp = sub.add_parser(
+        "experiment", help="regenerate a table/figure of the paper"
+    )
+    exp.add_argument("name", help="experiment id (fig1..fig8, table2..5, "
+                     "ablation-*) or 'list'")
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    from .nets import catalog, planted_network
+    from .sparse import write_matrix_market
+
+    if args.network.startswith("planted:"):
+        parts = args.network.split(":")
+        if len(parts) != 3:
+            print(
+                "planted spec must be planted:<n>:<intra_degree>",
+                file=sys.stderr,
+            )
+            return 2
+        n, deg = int(parts[1]), float(parts[2])
+        net = planted_network(
+            n, intra_degree=deg, inter_degree=max(1.0, deg / 20),
+            seed=args.seed,
+        )
+    else:
+        net = catalog.load(args.network, seed=args.seed)
+    write_matrix_market(net.matrix, args.output)
+    print(
+        f"wrote {args.output}: {net.n_vertices} vertices, "
+        f"{net.matrix.nnz} entries, {net.n_true_clusters} planted clusters"
+    )
+    return 0
+
+
+def _cmd_cluster(args) -> int:
+    from .mcl import MclOptions, markov_cluster
+    from .mcl.hipmcl import HipMCLConfig, hipmcl
+    from .mcl.components import clusters_from_labels
+    from .sparse import read_abc, read_matrix_market
+
+    labels_dict = None
+    if str(args.input).endswith(".abc"):
+        matrix, labels_dict = read_abc(args.input, symmetrize=True)
+    else:
+        matrix = read_matrix_market(args.input)
+    options = MclOptions(
+        inflation=args.inflation,
+        prune_threshold=args.threshold,
+        select_number=args.select,
+        recover_number=args.recover,
+        max_iterations=args.max_iterations,
+    )
+    if args.mode == "reference":
+        res = markov_cluster(matrix, options)
+        extra = ""
+    else:
+        cfg = {
+            "optimized": HipMCLConfig.optimized,
+            "original": HipMCLConfig.original,
+            "cpu": HipMCLConfig.optimized_cpu,
+        }[args.mode](nodes=args.nodes)
+        res = hipmcl(matrix, options, cfg)
+        extra = (
+            f", {res.elapsed_seconds:.4f} simulated s on {args.nodes} "
+            "virtual nodes"
+        )
+    print(
+        f"{res.n_clusters} clusters in {res.iterations} iterations "
+        f"(converged={res.converged}{extra})",
+        file=sys.stderr,
+    )
+    if args.stats and hasattr(res, "history"):
+        for h in res.history:
+            line = (
+                f"iter {getattr(h, 'index', '?')}: flops={h.flops} "
+                f"cf={h.cf:.2f} chaos={h.chaos:.2e}"
+            )
+            print(line, file=sys.stderr)
+    def render(v: int) -> str:
+        return labels_dict[v] if labels_dict is not None else str(v)
+
+    lines = [
+        "\t".join(render(v) for v in cluster)
+        for cluster in clusters_from_labels(np.asarray(res.labels))
+    ]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from .bench.harness import ALL_EXPERIMENTS
+
+    if args.name == "list":
+        for name, fn in ALL_EXPERIMENTS.items():
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:18s} {doc}")
+        return 0
+    try:
+        fn = ALL_EXPERIMENTS[args.name]
+    except KeyError:
+        print(
+            f"unknown experiment {args.name!r}; try 'list'", file=sys.stderr
+        )
+        return 2
+    print(fn().render())
+    return 0
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    handler = {
+        "generate": _cmd_generate,
+        "cluster": _cmd_cluster,
+        "experiment": _cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

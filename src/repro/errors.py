@@ -1,0 +1,44 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything the library may raise with a single ``except`` clause
+while still being able to discriminate failure classes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all exceptions raised by :mod:`repro`."""
+
+
+class ShapeError(ReproError, ValueError):
+    """Operand shapes are incompatible for the requested operation."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse matrix's internal arrays violate the format invariants."""
+
+
+class GridError(ReproError, ValueError):
+    """A process grid cannot be formed (e.g. non-square process count)."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the simulated MPI layer (bad rank, root, or buffer)."""
+
+
+class DeviceMemoryError(ReproError, MemoryError):
+    """A simulated GPU allocation exceeded the device memory capacity."""
+
+
+class HostMemoryError(ReproError, MemoryError):
+    """A simulated per-process host allocation exceeded its memory budget."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """MCL failed to converge within the configured iteration limit."""
+
+
+class EstimationError(ReproError, ValueError):
+    """Invalid parameters for the probabilistic memory estimator."""

@@ -1,0 +1,23 @@
+"""Simulated GPU substrate: device memory model and the three SpGEMM
+library re-implementations (bhsparse, nsparse, rmerge2) plus the §III-A
+multi-GPU column-splitting scheme."""
+
+from .device import GPUDevice
+from .libraries import (
+    LIBRARY_FUNCTIONS,
+    spgemm_bhsparse,
+    spgemm_nsparse,
+    spgemm_rmerge2,
+)
+from .multigpu import MultiGpuResult, multigpu_spgemm, split_columns
+
+__all__ = [
+    "GPUDevice",
+    "LIBRARY_FUNCTIONS",
+    "spgemm_bhsparse",
+    "spgemm_nsparse",
+    "spgemm_rmerge2",
+    "MultiGpuResult",
+    "multigpu_spgemm",
+    "split_columns",
+]

@@ -1,0 +1,81 @@
+"""The simulated GPU device: capacity-limited memory and transfer costs.
+
+A :class:`GPUDevice` tracks live allocations in bytes against the V100-like
+16 GB capacity from the :class:`~repro.machine.spec.MachineSpec`.  The
+pipelined SUMMA sizes each stage's inputs + estimated output against the
+device before offloading and falls back to the CPU kernel on a would-be
+OOM — the failure-injection tests drive exactly that path with an
+artificially small device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import DeviceMemoryError
+from ..machine.spec import MachineSpec
+
+
+@dataclass
+class GPUDevice:
+    """One virtual accelerator: a memory pool plus utilization counters."""
+
+    spec: MachineSpec
+    index: int = 0
+    capacity_bytes: int | None = None  # default: spec.gpu_memory_bytes
+    _allocated: dict[str, int] = field(default_factory=dict)
+    peak_bytes: int = 0
+    kernel_launches: int = 0
+
+    def __post_init__(self):
+        if self.capacity_bytes is None:
+            self.capacity_bytes = self.spec.gpu_memory_bytes
+        if self.capacity_bytes <= 0:
+            raise ValueError(
+                f"device capacity must be positive: {self.capacity_bytes}"
+            )
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(self._allocated.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.allocated_bytes
+
+    def allocate(self, tag: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``tag``; raises on exhaustion.
+
+        Tags are unique handles (double-allocating a live tag is a bug in
+        the caller, not an OOM, and raises ``ValueError``).
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        if tag in self._allocated:
+            raise ValueError(f"allocation tag {tag!r} already live")
+        if nbytes > self.free_bytes:
+            raise DeviceMemoryError(
+                f"GPU {self.index}: allocating {nbytes} B under {tag!r} "
+                f"exceeds capacity ({self.free_bytes} B free of "
+                f"{self.capacity_bytes})"
+            )
+        self._allocated[tag] = nbytes
+        self.peak_bytes = max(self.peak_bytes, self.allocated_bytes)
+
+    def free(self, tag: str) -> None:
+        """Release the allocation held under ``tag``."""
+        try:
+            del self._allocated[tag]
+        except KeyError:
+            raise ValueError(f"allocation tag {tag!r} not live") from None
+
+    def free_all(self) -> None:
+        """Release everything (end of a SUMMA stage)."""
+        self._allocated.clear()
+
+    def fits(self, nbytes: int) -> bool:
+        """Would an ``nbytes`` allocation succeed right now?"""
+        return nbytes <= self.free_bytes
+
+    def count_launch(self) -> None:
+        self.kernel_launches += 1

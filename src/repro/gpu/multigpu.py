@@ -1,0 +1,109 @@
+"""Multi-GPU column splitting within one process (paper §III-A).
+
+HipMCL's chosen node configuration is one MPI process commanding all the
+node's GPUs: the local ``C = A·B`` is computed by copying A to every device
+and splitting B's columns evenly; each device produces a disjoint column
+slab of C, so reassembly is a concatenation, not a merge.  This module
+implements that split functionally and returns the per-device modeled
+times (the devices run concurrently, so the stage's GPU time is their
+maximum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import DeviceMemoryError
+from ..machine.spec import MachineSpec
+from ..sparse import CSCMatrix, hstack_csc
+from ..spgemm.hybrid import KernelKind
+from ..spgemm.metrics import flops_per_column
+from .device import GPUDevice
+from .libraries import LIBRARY_FUNCTIONS
+
+
+@dataclass(frozen=True)
+class MultiGpuResult:
+    """Output of one multi-device local SpGEMM."""
+
+    matrix: CSCMatrix
+    device_times: tuple[float, ...]  # kernel-only seconds per device
+    h2d_bytes: int
+    d2h_bytes: int
+
+    @property
+    def kernel_time(self) -> float:
+        """Stage kernel time: devices run concurrently → the max."""
+        return max(self.device_times) if self.device_times else 0.0
+
+
+def split_columns(ncols: int, ndevices: int) -> list[tuple[int, int]]:
+    """Near-even half-open column ranges for ``ndevices`` slabs."""
+    if ndevices <= 0:
+        raise ValueError(f"need at least one device, got {ndevices}")
+    base, extra = divmod(ncols, ndevices)
+    bounds = []
+    lo = 0
+    for d in range(ndevices):
+        hi = lo + base + (1 if d < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def multigpu_spgemm(
+    a: CSCMatrix,
+    b: CSCMatrix,
+    devices: list[GPUDevice],
+    kind: KernelKind,
+    spec: MachineSpec,
+) -> MultiGpuResult:
+    """Run ``C = A·B`` across ``devices`` with B's columns split evenly.
+
+    Every device receives a full copy of A (the §III-A scheme), its B
+    slab, and room for its output; a slab that does not fit raises
+    :class:`DeviceMemoryError` — callers (the pipelined SUMMA) catch it
+    and fall back to the CPU kernel.
+    """
+    if not devices:
+        raise ValueError("multigpu_spgemm needs at least one device")
+    if not kind.on_gpu:
+        raise ValueError(f"{kind} is not a GPU kernel")
+    func = LIBRARY_FUNCTIONS[kind.value]
+    per_col_flops = flops_per_column(a, b)
+
+    slabs: list[CSCMatrix] = []
+    times: list[float] = []
+    h2d = d2h = 0
+    a_bytes = a.memory_bytes()
+    for dev, (lo, hi) in zip(devices, split_columns(b.ncols, len(devices))):
+        b_slab = b.column_slab(lo, hi)
+        c_slab = func(a, b_slab)
+        out_bytes = c_slab.memory_bytes()
+        # Reserve A + B-slab + output together; free at stage end as the
+        # paper describes (device holds only one multiplication at a time).
+        dev.allocate("A", a_bytes)
+        try:
+            dev.allocate("B", b_slab.memory_bytes())
+            dev.allocate("C", out_bytes)
+        except DeviceMemoryError:
+            dev.free_all()
+            raise
+        dev.count_launch()
+        slab_flops = float(per_col_flops[lo:hi].sum())
+        cf = slab_flops / c_slab.nnz if c_slab.nnz else 1.0
+        times.append(
+            spec.gpu_spgemm_time(
+                kind, slab_flops, cf, a_bytes + b_slab.memory_bytes()
+            )
+        )
+        h2d += a_bytes + b_slab.memory_bytes()
+        d2h += out_bytes
+        dev.free_all()
+        slabs.append(c_slab)
+    return MultiGpuResult(
+        matrix=hstack_csc(slabs),
+        device_times=tuple(times),
+        h2d_bytes=h2d,
+        d2h_bytes=d2h,
+    )

@@ -1,0 +1,18 @@
+"""The virtual pre-exascale machine: rate model and per-rank clocks.
+
+:class:`MachineSpec` holds the calibrated Summit-like rate constants (the
+only place simulated seconds come from); :class:`RankClock` tracks each
+virtual process's CPU and GPU timelines so overlap and idleness are
+measured, not assumed.
+"""
+
+from .clock import RankClock, ResourceTimeline
+from .spec import CORI_KNL_LIKE, SUMMIT_LIKE, MachineSpec
+
+__all__ = [
+    "MachineSpec",
+    "SUMMIT_LIKE",
+    "CORI_KNL_LIKE",
+    "RankClock",
+    "ResourceTimeline",
+]

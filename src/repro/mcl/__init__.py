@@ -1,0 +1,57 @@
+"""The Markov Cluster algorithm: sequential reference and building blocks.
+
+The distributed HipMCL driver lives in :mod:`repro.mcl.hipmcl`; the pieces
+here (pruning, inflation, chaos, components) are shared by both.
+"""
+
+from .chaos import chaos
+from .components import UnionFind, clusters_from_labels, connected_components
+from .inflation import inflate
+from .options import MclOptions
+from .prune import PruneStats, prune_columns
+from .reference import (
+    IterationStats,
+    MclResult,
+    expand,
+    markov_cluster,
+    prepare_matrix,
+)
+from .hipmcl import HipMCLConfig, HipMCLIteration, HipMCLResult, hipmcl
+from .quality import (
+    ClusterStats,
+    adjusted_rand_index,
+    modularity,
+    normalized_mutual_information,
+    quality_report,
+)
+from .baselines import component_clustering, label_propagation
+from .interpret import attractors, clusters_by_attractors
+
+__all__ = [
+    "MclOptions",
+    "PruneStats",
+    "prune_columns",
+    "inflate",
+    "chaos",
+    "UnionFind",
+    "connected_components",
+    "clusters_from_labels",
+    "IterationStats",
+    "MclResult",
+    "expand",
+    "prepare_matrix",
+    "markov_cluster",
+    "HipMCLConfig",
+    "HipMCLIteration",
+    "HipMCLResult",
+    "hipmcl",
+    "ClusterStats",
+    "adjusted_rand_index",
+    "normalized_mutual_information",
+    "modularity",
+    "quality_report",
+    "label_propagation",
+    "component_clustering",
+    "attractors",
+    "clusters_by_attractors",
+]

@@ -1,0 +1,23 @@
+"""The chaos convergence metric of MCL.
+
+A column of a converged (doubly idempotent) MCL matrix is a 0/1 indicator
+of its attractor, so ``max(column) - Σ column²`` is exactly zero; while the
+process still mixes, the gap is positive.  ``chaos`` is the maximum gap
+over columns — the same quantity the mcl binary prints per iteration — and
+the iteration stops when it falls below the configured threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSCMatrix, column_max, column_sum_of_squares
+
+
+def chaos(mat: CSCMatrix) -> float:
+    """Maximum per-column ``max - sum-of-squares`` gap (>= 0 for a
+    column-stochastic matrix, 0 iff every column is an indicator)."""
+    gap = column_max(mat) - column_sum_of_squares(mat)
+    if len(gap) == 0:
+        return 0.0
+    return float(np.maximum(gap, 0.0).max())

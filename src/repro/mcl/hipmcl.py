@@ -1,0 +1,657 @@
+"""The distributed HipMCL driver (original and optimized configurations).
+
+One driver runs the full MCL loop on the simulated machine:
+
+    estimate memory → plan phases → phased expansion (Sparse SUMMA,
+    fused with pruning) → inflation → convergence check
+
+A :class:`HipMCLConfig` selects between the paper's *original* HipMCL
+(heap kernel, CPU only, bulk-synchronous SUMMA, multiway merge, exact
+symbolic estimation — the left bar of Fig. 1) and the *optimized* HipMCL
+(hybrid GPU kernels, pipelined SUMMA, binary merge, probabilistic
+estimation — the right bar), plus everything in between for the ablations.
+
+All numerics are real: the driver produces the same clusters as
+:func:`repro.mcl.reference.markov_cluster` up to floating-point summation
+order (the paper makes the same caveat for HipMCL vs mcl).  All times are
+modeled by :class:`~repro.machine.spec.MachineSpec` applied to exactly
+counted work, accumulated on per-rank CPU/GPU timelines.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GridError
+from ..machine.spec import SUMMIT_LIKE, MachineSpec
+from ..mpi.comm import VirtualComm
+from ..mpi.grid import ProcessGrid, is_perfect_square
+from ..sparse import CSCMatrix, csc_from_triples
+from ..sparse import _compressed as _c
+from ..spgemm.estimator import estimate_nnz
+from ..spgemm.metrics import flops as flops_of
+from ..spgemm.symbolic import symbolic_nnz
+from ..summa.distmatrix import DistributedCSC
+from ..summa.engine import SummaConfig, summa_multiply
+from ..summa.phases import plan_phases
+from .chaos import chaos as chaos_of
+from .components import connected_components
+from .distributed_prune import distributed_prune_block_column
+from .inflation import inflate
+from .options import MclOptions
+from .prune import prune_columns
+from .reference import MclResult, prepare_matrix
+
+#: Stage account names, in Fig. 1's legend order.
+STAGE_ACCOUNTS = (
+    "local_spgemm",
+    "mem_estimation",
+    "summa_bcast",
+    "merge",
+    "prune",
+    "other",
+)
+
+
+@dataclass(frozen=True)
+class HipMCLConfig:
+    """One distributed run's machine and algorithm configuration."""
+
+    nodes: int = 16
+    spec: MachineSpec = SUMMIT_LIKE
+    kernel: str = "hybrid"
+    merge: str = "binary"
+    pipelined: bool = True
+    use_gpu: bool = True
+    #: "symbolic" (exact two-pass, original HipMCL), "probabilistic"
+    #: (Cohen keys), "hybrid" (probabilistic unless last iteration's cf
+    #: fell below ``estimator_cf_threshold`` — §VII-D's recipe), or
+    #: "probabilistic-gpu" (the paper's stated future work: port the key
+    #: propagation to the GPU and pipeline it like the SUMMA multiplies).
+    estimator: str = "probabilistic"
+    estimator_keys: int = 5
+    estimator_cf_threshold: float = 3.0
+    #: §VII-D compensation: deflate the budget against underestimation.
+    estimator_safety: float = 1.1
+    #: Thread-based node management (one process per node commanding all
+    #: GPUs) vs process-based (one process per GPU) — §III-A / Fig. 5.
+    threaded_node: bool = True
+    gpus_per_node: int = 6
+    memory_budget_bytes: int = 8 * 2**20
+    seed: int = 0
+    run_real_kernels: bool = False
+
+    def __post_init__(self):
+        if self.estimator not in (
+            "symbolic", "probabilistic", "hybrid", "probabilistic-gpu"
+        ):
+            raise ValueError(f"unknown estimator {self.estimator!r}")
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.use_gpu and self.spec.gpus_per_node == 0:
+            raise ValueError(
+                "use_gpu=True on a machine without GPUs "
+                f"(spec.gpus_per_node=0, e.g. CORI_KNL_LIKE)"
+            )
+        p = self.processes
+        if not is_perfect_square(p):
+            raise GridError(
+                f"{self.nodes} nodes in "
+                f"{'thread' if self.threaded_node else 'process'}-based mode "
+                f"yield {p} MPI processes, which is not a perfect square "
+                "(HipMCL requires one)"
+            )
+
+    @property
+    def processes(self) -> int:
+        """MPI process count implied by the node-management mode."""
+        if self.threaded_node:
+            return self.nodes
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def threads_per_process(self) -> int:
+        if self.threaded_node:
+            return self.spec.cores_per_node
+        per_proc = self.spec.cores_per_node // self.gpus_per_node
+        # Slim processes lose part of their cores to MPI service and
+        # duplicated ghost data (spec.multiprocess_thread_derate).
+        return max(1, int(per_proc * self.spec.multiprocess_thread_derate))
+
+    @property
+    def gpus_per_process(self) -> int:
+        return self.gpus_per_node if self.threaded_node else 1
+
+    @classmethod
+    def original(cls, nodes: int, **kwargs) -> "HipMCLConfig":
+        """Original HipMCL: heap kernel, CPU, synchronous, multiway merge,
+        exact symbolic estimation."""
+        return cls(
+            nodes=nodes,
+            kernel="heap",
+            merge="multiway",
+            pipelined=False,
+            use_gpu=False,
+            estimator="symbolic",
+            **kwargs,
+        )
+
+    @classmethod
+    def optimized(
+        cls, nodes: int, *, overlap: bool = True, **kwargs
+    ) -> "HipMCLConfig":
+        """This paper's HipMCL; ``overlap=False`` gives Fig. 1's middle
+        bar (new kernels, no pipelining)."""
+        return cls(
+            nodes=nodes,
+            kernel="hybrid",
+            merge="binary" if overlap else "multiway",
+            pipelined=overlap,
+            use_gpu=True,
+            estimator="hybrid",
+            **kwargs,
+        )
+
+    @classmethod
+    def optimized_cpu(cls, nodes: int, **kwargs) -> "HipMCLConfig":
+        """§VI's configuration for systems without GPUs: the hash SpGEMM
+        replaces the heap, plus the estimator and merge improvements."""
+        return cls(
+            nodes=nodes,
+            kernel="hash",
+            merge="binary",
+            pipelined=False,  # no device to overlap against
+            use_gpu=False,
+            estimator="hybrid",
+            **kwargs,
+        )
+
+    @classmethod
+    def future_gpu_estimation(cls, nodes: int, **kwargs) -> "HipMCLConfig":
+        """The paper's stated future work (§VII-E): optimized HipMCL with
+        the memory estimation also ported to the GPU."""
+        return cls(
+            nodes=nodes,
+            kernel="hybrid",
+            merge="binary",
+            pipelined=True,
+            use_gpu=True,
+            estimator="probabilistic-gpu",
+            **kwargs,
+        )
+
+    def summa_config(self) -> SummaConfig:
+        return SummaConfig(
+            spec=self.spec,
+            kernel=self.kernel,
+            merge=self.merge,
+            pipelined=self.pipelined,
+            use_gpu=self.use_gpu,
+            gpus_per_process=self.gpus_per_process,
+            threads=self.threads_per_process,
+            threaded_node=self.threaded_node,
+            run_real_kernels=self.run_real_kernels,
+        )
+
+
+@dataclass(frozen=True)
+class HipMCLIteration:
+    """Per-iteration record of one distributed MCL iteration."""
+
+    index: int
+    nnz_in: int
+    flops: int
+    estimated_nnz: float
+    exact_nnz: int
+    estimator_used: str
+    estimation_error_pct: float
+    phases: int
+    nnz_pruned: int
+    cf: float
+    chaos: float
+    merge_peak_event_elements: int
+    merge_peak_resident_elements: int
+    stage_seconds: dict[str, float]
+
+
+@dataclass
+class HipMCLResult:
+    """Outcome of one simulated distributed run."""
+
+    labels: np.ndarray
+    n_clusters: int
+    iterations: int
+    converged: bool
+    elapsed_seconds: float  # simulated makespan
+    stage_means: dict[str, float]
+    cpu_idle_seconds: float
+    gpu_idle_seconds: float
+    kernel_selections: dict[str, int]
+    gpu_fallbacks: int
+    bytes_communicated: int
+    history: list[HipMCLIteration] = field(default_factory=list)
+    wall_seconds: float = 0.0  # real time the simulation took
+    #: Idle within each resource's active window (Table V semantics).
+    cpu_window_idle_seconds: float = 0.0
+    gpu_window_idle_seconds: float = 0.0
+    #: Makespan of the expansion sections alone (Table II's "overall",
+    #: including the fused pruning of the phase callbacks).
+    expansion_seconds: float = 0.0
+    #: Mean per-rank idle seconds *inside* the expansion sections — the
+    #: CPU/GPU idle times of Table V (the CPU waits while the GPU
+    #: multiplies; the GPU waits while the CPU broadcasts and merges).
+    expansion_cpu_idle_seconds: float = 0.0
+    expansion_gpu_idle_seconds: float = 0.0
+    #: Largest transient per-rank footprint any expansion phase needed —
+    #: the quantity the §V phase planner bounds against the budget.
+    peak_rank_resident_bytes: int = 0
+    #: Iterations whose actual footprint exceeded the configured budget
+    #: (§VII-D: underestimation "can lead processes to go out of memory").
+    budget_violations: int = 0
+
+    def as_mcl_result(self) -> MclResult:
+        return MclResult(
+            labels=self.labels,
+            n_clusters=self.n_clusters,
+            iterations=self.iterations,
+            converged=self.converged,
+        )
+
+
+def _grouped_stage_seconds(comm: VirtualComm) -> dict[str, float]:
+    """Mean per-rank busy seconds folded into Fig. 1's stage buckets."""
+    means = comm.account_means()
+    out = {k: 0.0 for k in STAGE_ACCOUNTS}
+    for account, seconds in means.items():
+        # Transfers count as SpGEMM time, as in Table II ("including data
+        # transfers, pre/postprocessing").
+        if account in ("local_spgemm", "h2d", "d2h"):
+            out["local_spgemm"] += seconds
+        elif account in ("mem_estimation", "est_bcast"):
+            out["mem_estimation"] += seconds
+        elif account in ("summa_bcast",):
+            out["summa_bcast"] += seconds
+        elif account in ("merge",):
+            out["merge"] += seconds
+        elif account in ("prune", "topk_exchange"):
+            out["prune"] += seconds
+        else:  # h2d, inflation, allreduce, exchange, ...
+            out["other"] += seconds
+    return out
+
+
+def _charge_estimation(
+    comm: VirtualComm,
+    grid: ProcessGrid,
+    dist_a: DistributedCSC,
+    config: HipMCLConfig,
+    scheme: str,
+    total_flops: int,
+    total_nnz: int,
+) -> None:
+    """Charge the memory-estimation stage.
+
+    Both schemes mimic one sweep of the Sparse SUMMA communication
+    structure (§VII-E: estimation "involves successive communication and
+    computational stages, as it mimics the execution of Sparse SUMMA");
+    they differ in payload (pattern vs r keys) and in compute (O(flops) vs
+    O(r · nnz)).
+    """
+    spec = config.spec
+    q = grid.q
+    threads = config.threads_per_process
+    on_gpu = scheme == "probabilistic-gpu"
+    for k in range(q):
+        # Estimation mimics the full SUMMA communication structure: the
+        # A-side pattern/keys travel along rows, the B-side along columns,
+        # and each stage's propagated minima are combined — this is why
+        # §VII-E finds estimation the most serious scalability bottleneck
+        # (the α·lg q terms survive when the per-rank compute shrinks).
+        for i in range(q):
+            nbytes = dist_a.block_storage_bytes(i, k)
+            if scheme == "symbolic":
+                payload = nbytes // 2  # indices only, no values
+            else:
+                blk = dist_a.block(i, k)
+                payload = (
+                    8 * config.estimator_keys * blk.ncols // q
+                    + 8 * blk.nnz // 8
+                )
+            comm.broadcast(grid.row_members(i), payload, "est_bcast")
+        for j in range(q):
+            nbytes = dist_a.block_storage_bytes(k, j)
+            if scheme == "symbolic":
+                payload = nbytes // 2
+            else:
+                blk = dist_a.block(k, j)
+                payload = (
+                    8 * config.estimator_keys * blk.nrows // q
+                    + 8 * blk.nnz // 8
+                )
+            comm.broadcast(grid.col_members(j), payload, "est_bcast")
+        if on_gpu:
+            # Future-work variant: each stage's key propagation runs on
+            # the device, pipelined against the next stage's broadcasts —
+            # the same overlap structure as the Pipelined Sparse SUMMA.
+            per_rank_stage = (
+                2.0 * config.estimator_keys * total_nnz / grid.size / q
+            )
+            seconds = per_rank_stage / (
+                spec.gpu_estimator_ops_per_device * config.gpus_per_process
+            )
+            for clock in comm.clocks:
+                clock.gpu.schedule(
+                    clock.cpu.free_at, seconds, "mem_estimation"
+                )
+    for j in range(q):
+        # Combine the propagated minimum keys (symbolic: the per-column
+        # counts) along each processor column — once per estimation pass.
+        c_lo, c_hi = grid.block_bounds(dist_a.global_shape[1], j)
+        width = c_hi - c_lo
+        comm.allreduce(
+            grid.col_members(j),
+            8 * config.estimator_keys * width
+            if scheme != "symbolic"
+            else 8 * width,
+            "est_bcast",
+        )
+    per_rank_compute = (
+        total_flops / grid.size
+        if scheme == "symbolic"
+        else 2.0 * config.estimator_keys * total_nnz / grid.size
+    )
+    if not on_gpu:
+        for clock in comm.clocks:
+            seconds = (
+                spec.symbolic_time(per_rank_compute, threads)
+                if scheme == "symbolic"
+                else spec.estimator_time(per_rank_compute, threads)
+            )
+            clock.cpu.schedule(clock.cpu.free_at, seconds, "mem_estimation")
+    comm.barrier()
+
+
+def _assemble_block_column(
+    blocks: dict[tuple[int, int], CSCMatrix],
+    grid: ProcessGrid,
+    nrows: int,
+    j: int,
+) -> CSCMatrix:
+    """Stack the q row-blocks of block column ``j`` into global rows."""
+    width = blocks[(0, j)].ncols
+    rows_parts, cols_parts, vals_parts = [], [], []
+    for i in range(grid.q):
+        blk = blocks[(i, j)]
+        if blk.nnz == 0:
+            continue
+        r_lo, _ = grid.block_bounds(nrows, i)
+        rows_parts.append(blk.indices + r_lo)
+        cols_parts.append(_c.expand_major(blk.indptr, blk.ncols))
+        vals_parts.append(blk.data)
+    if not rows_parts:
+        return CSCMatrix.empty((nrows, width))
+    return csc_from_triples(
+        (nrows, width),
+        np.concatenate(rows_parts),
+        np.concatenate(cols_parts),
+        np.concatenate(vals_parts),
+        sum_dup=False,
+    )
+
+
+def _split_block_column(
+    mat: CSCMatrix, grid: ProcessGrid, nrows: int, j: int
+) -> dict[tuple[int, int], CSCMatrix]:
+    """Inverse of :func:`_assemble_block_column`."""
+    from ..sparse import block_of_csc
+
+    out = {}
+    for i in range(grid.q):
+        r_lo, r_hi = grid.block_bounds(nrows, i)
+        out[(i, j)] = block_of_csc(mat, r_lo, r_hi, 0, mat.ncols)
+    return out
+
+
+def hipmcl(
+    matrix: CSCMatrix,
+    options: MclOptions | None = None,
+    config: HipMCLConfig | None = None,
+) -> HipMCLResult:
+    """Run distributed MCL on the simulated machine and cluster ``matrix``."""
+    wall_start = _time.perf_counter()
+    options = options or MclOptions()
+    config = config or HipMCLConfig()
+    spec = config.spec
+    grid = ProcessGrid.for_processes(config.processes)
+    comm = VirtualComm(grid.size, spec)
+    summa_cfg = config.summa_config()
+    threads = config.threads_per_process
+
+    work = prepare_matrix(matrix, options)
+    n = work.nrows
+    history: list[HipMCLIteration] = []
+    converged = False
+    kernel_selections: dict[str, int] = {}
+    gpu_fallbacks = 0
+    expansion_seconds = 0.0
+    expansion_cpu_idle = 0.0
+    expansion_gpu_idle = 0.0
+    peak_rank_resident_bytes = 0
+    budget_violations = 0
+    prev_cf = math.inf  # first iteration: assume large cf → probabilistic
+
+    for it in range(1, options.max_iterations + 1):
+        stage_before = _grouped_stage_seconds(comm)
+        dist_a = DistributedCSC.from_global(work, grid)
+        total_flops = flops_of(work, work)
+
+        # ---- memory requirement estimation (§V) -------------------------
+        if config.estimator in ("symbolic", "probabilistic",
+                                "probabilistic-gpu"):
+            scheme = config.estimator
+        else:  # hybrid: exact when the previous product compressed little
+            scheme = (
+                "symbolic"
+                if prev_cf < config.estimator_cf_threshold
+                else "probabilistic"
+            )
+        if scheme == "symbolic":
+            estimated = float(symbolic_nnz(work, work))
+        else:
+            estimated = estimate_nnz(
+                work, work, keys=config.estimator_keys,
+                seed=config.seed + it,
+            ).total
+        _charge_estimation(
+            comm, grid, dist_a, config, scheme, total_flops, work.nnz
+        )
+        plan = plan_phases(
+            estimated,
+            grid.size,
+            config.memory_budget_bytes,
+            safety_factor=(
+                1.0 if scheme == "symbolic" else config.estimator_safety
+            ),
+        )
+
+        # ---- phased expansion fused with pruning -------------------------------
+        prune_totals = {"in": 0, "out": 0}
+
+        def prune_callback(blocks, phase_index):
+            pruned_blocks = {}
+            for j in range(grid.q):
+                col_ranks = grid.col_members(j)
+                col_blocks = [blocks[(i, j)] for i in range(grid.q)]
+                prune_totals["in"] += sum(b.nnz for b in col_blocks)
+                # Local threshold scan + top-k selection work.
+                for i in range(grid.q):
+                    rank = grid.rank_of(i, j)
+                    clock = comm.clocks[rank]
+                    local_nnz = col_blocks[i].nnz
+                    clock.cpu.schedule(
+                        clock.cpu.free_at,
+                        spec.prune_time(
+                            local_nnz, threads,
+                            threaded_node=config.threaded_node,
+                        ),
+                        "prune",
+                    )
+                    if options.select_number:
+                        clock.cpu.schedule(
+                            clock.cpu.free_at,
+                            spec.topk_time(
+                                local_nnz, options.select_number, threads
+                            ),
+                            "prune",
+                        )
+                if options.select_number:
+                    # Candidate exchange along the processor column (§II):
+                    # each rank contributes at most k entries per column.
+                    width = col_blocks[0].ncols
+                    per_rank_cand = min(
+                        max((blk.nnz for blk in col_blocks), default=0),
+                        options.select_number * width,
+                    )
+                    comm.alltoall(
+                        col_ranks, 16 * per_rank_cand // max(1, grid.q),
+                        "topk_exchange",
+                    )
+                if options.recover_number == 0:
+                    # Faithful §II protocol: local top-k candidates →
+                    # exchanged threshold → local filter.  Identical to
+                    # the centralized prune (validated in tests).
+                    pruned_col = distributed_prune_block_column(
+                        col_blocks, options
+                    )
+                    for i in range(grid.q):
+                        pruned_blocks[(i, j)] = pruned_col[i]
+                    prune_totals["out"] += sum(b.nnz for b in pruned_col)
+                else:
+                    # Recovery needs the full pre-cutoff column: assemble.
+                    slab = _assemble_block_column(blocks, grid, n, j)
+                    pruned, _stats = prune_columns(slab, options)
+                    prune_totals["out"] += pruned.nnz
+                    pruned_blocks.update(
+                        _split_block_column(pruned, grid, n, j)
+                    )
+            return pruned_blocks
+
+        expansion_t0 = comm.barrier()
+        busy_before = [
+            (c.cpu.busy_total(), c.gpu.busy_total()) for c in comm.clocks
+        ]
+        summa_res = summa_multiply(
+            dist_a,
+            dist_a,
+            comm,
+            summa_cfg,
+            phases=plan.phases,
+            phase_callback=prune_callback,
+        )
+        expansion_t1 = comm.barrier()
+        span = expansion_t1 - expansion_t0
+        expansion_seconds += span
+        # Idle *within* the expansion section, per resource (Table V's
+        # metric: how long each unit waits inside the pipelined SUMMA).
+        for clock, (cpu0, gpu0) in zip(comm.clocks, busy_before):
+            expansion_cpu_idle += span - (clock.cpu.busy_total() - cpu0)
+            expansion_gpu_idle += span - (clock.gpu.busy_total() - gpu0)
+        for k, v in summa_res.kernel_selections.items():
+            kernel_selections[k] = kernel_selections.get(k, 0) + v
+        gpu_fallbacks += summa_res.gpu_fallbacks
+        peak_rank_resident_bytes = max(
+            peak_rank_resident_bytes, summa_res.max_rank_resident_bytes
+        )
+        if summa_res.max_rank_resident_bytes > config.memory_budget_bytes:
+            # The §VII-D hazard: the estimator undershot (or the budget is
+            # simply unreachable within the phase cap) and a process would
+            # have exceeded its memory.
+            budget_violations += 1
+        exact_nnz = prune_totals["in"]
+
+        # ---- inflation ------------------------------------------------------
+        pruned_global = summa_res.dist_c.to_global()
+        for (i, j), blk in summa_res.dist_c.blocks.items():
+            clock = comm.clocks[grid.rank_of(i, j)]
+            clock.cpu.schedule(
+                clock.cpu.free_at,
+                spec.inflate_time(blk.nnz, threads),
+                "inflation",
+            )
+        for j in range(grid.q):
+            c_lo, c_hi = grid.block_bounds(n, j)
+            comm.allreduce(
+                grid.col_members(j), 8 * (c_hi - c_lo), "inflation"
+            )
+        from ..sparse import normalize_columns
+
+        work = inflate(normalize_columns(pruned_global), options.inflation)
+
+        # ---- convergence -------------------------------------------------------
+        ch = chaos_of(work)
+        comm.allreduce(list(range(grid.size)), 8, "other_comm")
+        comm.barrier()
+
+        stage_after = _grouped_stage_seconds(comm)
+        cf = (total_flops / exact_nnz) if exact_nnz else 1.0
+        history.append(
+            HipMCLIteration(
+                index=it,
+                nnz_in=dist_a.nnz,
+                flops=total_flops,
+                estimated_nnz=estimated,
+                exact_nnz=exact_nnz,
+                estimator_used=scheme,
+                estimation_error_pct=(
+                    abs(estimated - exact_nnz) / exact_nnz * 100.0
+                    if exact_nnz
+                    else 0.0
+                ),
+                phases=plan.phases,
+                nnz_pruned=work.nnz,
+                cf=cf,
+                chaos=ch,
+                merge_peak_event_elements=summa_res.merge_peak_event_elements,
+                merge_peak_resident_elements=(
+                    summa_res.merge_peak_resident_elements
+                ),
+                stage_seconds={
+                    k: stage_after[k] - stage_before.get(k, 0.0)
+                    for k in stage_after
+                },
+            )
+        )
+        prev_cf = cf
+        if ch < options.chaos_threshold:
+            converged = True
+            break
+
+    labels = connected_components(work)
+    cpu_idle, gpu_idle = comm.idle_times()
+    cpu_widle, gpu_widle = comm.window_idle_times()
+    return HipMCLResult(
+        labels=labels,
+        n_clusters=int(labels.max()) + 1 if len(labels) else 0,
+        iterations=len(history),
+        converged=converged,
+        elapsed_seconds=comm.elapsed(),
+        stage_means=_grouped_stage_seconds(comm),
+        cpu_idle_seconds=cpu_idle,
+        gpu_idle_seconds=gpu_idle,
+        kernel_selections=kernel_selections,
+        gpu_fallbacks=gpu_fallbacks,
+        bytes_communicated=comm.traffic.bytes_total,
+        history=history,
+        wall_seconds=_time.perf_counter() - wall_start,
+        cpu_window_idle_seconds=cpu_widle,
+        gpu_window_idle_seconds=gpu_widle,
+        expansion_seconds=expansion_seconds,
+        expansion_cpu_idle_seconds=expansion_cpu_idle / grid.size,
+        expansion_gpu_idle_seconds=expansion_gpu_idle / grid.size,
+        peak_rank_resident_bytes=peak_rank_resident_bytes,
+        budget_violations=budget_violations,
+    )

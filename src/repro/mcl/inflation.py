@@ -1,0 +1,16 @@
+"""MCL's inflation operator: Hadamard power then column re-normalization.
+
+Inflation (Algorithm 1, line 5) raises every entry to the inflation
+exponent and rescales columns to sum to one, boosting strong (intra-
+cluster) transitions at the expense of weak ones.  Both steps are O(nnz)
+and trivially parallel — which is why the paper leaves them on the CPU.
+"""
+
+from __future__ import annotations
+
+from ..sparse import CSCMatrix, hadamard_power, normalize_columns
+
+
+def inflate(mat: CSCMatrix, exponent: float) -> CSCMatrix:
+    """Return the column-stochastic inflation of ``mat``."""
+    return normalize_columns(hadamard_power(mat, exponent))

@@ -1,0 +1,55 @@
+"""Interpretation of the converged MCL matrix: attractors and clusters.
+
+A doubly idempotent MCL limit has a characteristic structure (van Dongen,
+ch. 3): *attractor* vertices keep positive return probability (a nonzero
+diagonal); every other vertex's column points into exactly the attractors
+of its cluster; attractor systems that share a follower belong to one
+cluster.  ``clusters_by_attractors`` implements that interpretation and —
+as theory says — agrees with the connected-components reading on converged
+matrices; the attractor list itself is useful output (mcl reports it as
+the cluster "centers").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSCMatrix
+from ..sparse import _compressed as _c
+from .components import UnionFind
+
+
+def attractors(mat: CSCMatrix, tol: float = 1e-9) -> np.ndarray:
+    """Vertex ids with diagonal mass above ``tol`` (the cluster centers)."""
+    if mat.nrows != mat.ncols:
+        raise ValueError(f"need a square matrix, got {mat.shape}")
+    cols = _c.expand_major(mat.indptr, mat.ncols)
+    on_diag = (mat.indices == cols) & (mat.data > tol)
+    return np.unique(mat.indices[on_diag])
+
+
+def clusters_by_attractors(
+    mat: CSCMatrix, tol: float = 1e-9
+) -> np.ndarray:
+    """Cluster labels from the attractor-system interpretation.
+
+    Each column is assigned to the attractor(s) it flows into; attractors
+    sharing a follower are merged (overlapping attractor systems).
+    Vertices with no surviving flow become singletons.  On a converged
+    matrix this equals :func:`~repro.mcl.components.connected_components`.
+    """
+    if mat.nrows != mat.ncols:
+        raise ValueError(f"need a square matrix, got {mat.shape}")
+    n = mat.nrows
+    uf = UnionFind(n)
+    attr = set(attractors(mat, tol).tolist())
+    cols = _c.expand_major(mat.indptr, mat.ncols)
+    significant = mat.data > tol
+    for i, j in zip(
+        mat.indices[significant].tolist(), cols[significant].tolist()
+    ):
+        # Column j flows into row i; when i is an attractor, j joins its
+        # system (which transitively merges overlapping systems).
+        if i in attr:
+            uf.union(i, j)
+    return uf.labels()

@@ -1,0 +1,62 @@
+"""MCL / HipMCL run parameters.
+
+Mirrors the knobs of the ``mcl`` binary and HipMCL's command line: the
+inflation exponent, the pruning cutoff, the per-column selection (top-k)
+and recovery numbers, and convergence controls.  The paper runs everything
+with inflation 2 (§VII-A) and k ≈ 1000; the scaled-down catalog networks
+use proportionally smaller k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MclOptions:
+    """Parameters of one Markov clustering run."""
+
+    inflation: float = 2.0
+    #: Entries of the expanded column below this are pruned (mcl's cutoff;
+    #: HipMCL default is 1e-4).
+    prune_threshold: float = 1e-4
+    #: Keep at most this many entries per column after pruning ("select
+    #: number"; mcl -S). 0 disables selection.
+    select_number: int = 1000
+    #: If thresholding leaves a column with fewer than this many entries,
+    #: recover the largest pre-threshold entries up to this count ("recover
+    #: number"; mcl -R). 0 disables recovery.
+    recover_number: int = 0
+    #: Stop when the chaos metric falls below this.
+    chaos_threshold: float = 1e-8
+    max_iterations: int = 100
+    #: Add self loops before the first iteration (weight = column max,
+    #: the mcl default) so the walk is aperiodic.
+    add_self_loops: bool = True
+
+    def __post_init__(self):
+        if self.inflation <= 1.0:
+            raise ValueError(
+                f"inflation must exceed 1 for MCL to converge, got "
+                f"{self.inflation}"
+            )
+        if self.prune_threshold < 0:
+            raise ValueError(
+                f"prune_threshold must be >= 0, got {self.prune_threshold}"
+            )
+        if self.select_number < 0 or self.recover_number < 0:
+            raise ValueError("select/recover numbers must be >= 0")
+        if self.recover_number and self.select_number:
+            if self.recover_number > self.select_number:
+                raise ValueError(
+                    "recover_number cannot exceed select_number "
+                    f"({self.recover_number} > {self.select_number})"
+                )
+        if self.chaos_threshold <= 0:
+            raise ValueError(
+                f"chaos_threshold must be positive, got {self.chaos_threshold}"
+            )
+        if self.max_iterations < 1:
+            raise ValueError(
+                f"max_iterations must be >= 1, got {self.max_iterations}"
+            )

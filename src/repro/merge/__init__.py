@@ -1,0 +1,31 @@
+"""Merging of SUMMA intermediate products (paper §IV).
+
+:class:`TripleList` is the sorted coordinate-list representation of one
+stage's partial result; the three merge *schedules* (multiway, immediate
+two-way, and the paper's binary merge) consume the per-stage stream and
+report exact memory peaks plus modeled operation counts.
+"""
+
+from .lists import BYTES_PER_TRIPLE, TripleList, merge_lists
+from .schedule import (
+    SCHEDULES,
+    BinaryMergeSchedule,
+    MergeEvent,
+    MergeOutcome,
+    MultiwayMergeSchedule,
+    TwoWayMergeSchedule,
+    run_schedule,
+)
+
+__all__ = [
+    "BYTES_PER_TRIPLE",
+    "TripleList",
+    "merge_lists",
+    "SCHEDULES",
+    "MergeEvent",
+    "MergeOutcome",
+    "MultiwayMergeSchedule",
+    "TwoWayMergeSchedule",
+    "BinaryMergeSchedule",
+    "run_schedule",
+]

@@ -1,0 +1,12 @@
+"""Simulated MPI: process grid, communicator, collective cost accounting.
+
+The algorithms run all ranks in one address space; this layer provides the
+grid geometry (:class:`ProcessGrid`) and the synchronizing cost model
+(:class:`VirtualComm`) so communication time, volume and idleness are
+measured from the same α-β models throughout.
+"""
+
+from .comm import TrafficStats, VirtualComm
+from .grid import ProcessGrid, is_perfect_square
+
+__all__ = ["ProcessGrid", "is_perfect_square", "VirtualComm", "TrafficStats"]

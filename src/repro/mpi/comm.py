@@ -1,0 +1,155 @@
+"""The virtual communicator: time and traffic accounting for collectives.
+
+The simulation executes every rank's program in one address space, so the
+communicator never moves data — it *charges* each participant's
+:class:`~repro.machine.clock.RankClock` the modeled cost of the collective
+(α-β tree models from :class:`~repro.machine.spec.MachineSpec`) and counts
+bytes and messages.  Collectives are synchronizing: all participants leave
+at the same completion time, exactly like a blocking MPI collective, which
+is what makes the *pipelined* SUMMA's relaxation of synchronization visible
+in the timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CommunicatorError
+from ..machine.clock import RankClock
+from ..machine.spec import MachineSpec
+
+
+@dataclass
+class TrafficStats:
+    """Volume counters, aggregated over the whole run."""
+
+    bytes_broadcast: int = 0
+    bytes_reduced: int = 0
+    bytes_exchanged: int = 0
+    collective_calls: int = 0
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_broadcast + self.bytes_reduced + self.bytes_exchanged
+
+
+class VirtualComm:
+    """Clocks and counters for ``P`` virtual MPI processes."""
+
+    def __init__(self, nprocs: int, spec: MachineSpec):
+        if nprocs <= 0:
+            raise CommunicatorError(f"process count must be positive: {nprocs}")
+        self.spec = spec
+        self.clocks = [RankClock() for _ in range(nprocs)]
+        self.traffic = TrafficStats()
+
+    @property
+    def size(self) -> int:
+        return len(self.clocks)
+
+    def _check_group(self, ranks: list[int]) -> None:
+        if not ranks:
+            raise CommunicatorError("collective over an empty group")
+        for r in ranks:
+            if not (0 <= r < self.size):
+                raise CommunicatorError(
+                    f"rank {r} outside communicator of size {self.size}"
+                )
+
+    def _collective(
+        self, ranks: list[int], duration: float, account: str
+    ) -> float:
+        """Common synchronizing pattern: start when the *last* member's CPU
+        is free, run ``duration``, everyone exits together."""
+        self._check_group(ranks)
+        start = max(self.clocks[r].cpu.free_at for r in ranks)
+        end = start + duration
+        for r in ranks:
+            self.clocks[r].cpu.schedule(start, duration, account)
+        self.traffic.collective_calls += 1
+        return end
+
+    def broadcast(
+        self, ranks: list[int], nbytes: int, account: str = "summa_bcast"
+    ) -> float:
+        """Charge a broadcast of ``nbytes`` within ``ranks``.
+
+        Returns the completion time.  Volume counts payload once per
+        *receiving* rank (what the wires carry in a binomial tree).
+        """
+        if nbytes < 0:
+            raise CommunicatorError(f"negative payload: {nbytes}")
+        duration = self.spec.bcast_time(nbytes, len(ranks))
+        end = self._collective(ranks, duration, account)
+        self.traffic.bytes_broadcast += nbytes * max(0, len(ranks) - 1)
+        return end
+
+    def allreduce(
+        self, ranks: list[int], nbytes: int, account: str = "allreduce"
+    ) -> float:
+        """Charge a recursive-doubling allreduce of ``nbytes``."""
+        if nbytes < 0:
+            raise CommunicatorError(f"negative payload: {nbytes}")
+        duration = self.spec.allreduce_time(nbytes, len(ranks))
+        end = self._collective(ranks, duration, account)
+        self.traffic.bytes_reduced += nbytes * max(0, len(ranks) - 1)
+        return end
+
+    def alltoall(
+        self, ranks: list[int], nbytes_per_pair: int, account: str = "exchange"
+    ) -> float:
+        """Charge a pairwise all-to-all of ``nbytes_per_pair`` per pair."""
+        if nbytes_per_pair < 0:
+            raise CommunicatorError(f"negative payload: {nbytes_per_pair}")
+        duration = self.spec.alltoall_time(nbytes_per_pair, len(ranks))
+        end = self._collective(ranks, duration, account)
+        n = len(ranks)
+        self.traffic.bytes_exchanged += nbytes_per_pair * n * max(0, n - 1)
+        return end
+
+    def barrier(self, ranks: list[int] | None = None) -> float:
+        """Synchronize ``ranks`` (default: all) to their common maximum."""
+        ranks = list(range(self.size)) if ranks is None else ranks
+        self._check_group(ranks)
+        t = max(self.clocks[r].now for r in ranks)
+        for r in ranks:
+            self.clocks[r].barrier_to(t)
+        return t
+
+    # -- reporting -------------------------------------------------------
+
+    def elapsed(self) -> float:
+        """The run's makespan: the latest clock."""
+        return max(c.now for c in self.clocks)
+
+    def account_means(self) -> dict[str, float]:
+        """Mean busy seconds per account across ranks (stage breakdowns)."""
+        totals: dict[str, float] = {}
+        for c in self.clocks:
+            for k, v in c.stage_report().items():
+                totals[k] = totals.get(k, 0.0) + v
+        return {k: v / self.size for k, v in totals.items()}
+
+    def account_maxima(self) -> dict[str, float]:
+        """Max busy seconds per account across ranks (critical path view)."""
+        out: dict[str, float] = {}
+        for c in self.clocks:
+            for k, v in c.stage_report().items():
+                out[k] = max(out.get(k, 0.0), v)
+        return out
+
+    def idle_times(self) -> tuple[float, float]:
+        """(mean CPU idle, mean GPU idle) seconds across ranks."""
+        cpu = sum(c.cpu.idle for c in self.clocks) / self.size
+        gpu = sum(c.gpu.idle for c in self.clocks) / self.size
+        return cpu, gpu
+
+    def window_idle_times(self) -> tuple[float, float]:
+        """(mean CPU, mean GPU) idle within each resource's active window.
+
+        This is Table V's notion of idleness: waiting *between* uses of the
+        resource, not the lead/tail time where it has no role at all.
+        """
+        cpu = sum(c.cpu.window_idle() for c in self.clocks) / self.size
+        gpu = sum(c.gpu.window_idle() for c in self.clocks) / self.size
+        return cpu, gpu

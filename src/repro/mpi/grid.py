@@ -1,0 +1,92 @@
+"""The √P × √P process grid of 2-D Sparse SUMMA.
+
+HipMCL requires a perfect-square process count (the paper even
+under-utilizes GPUs in §VII-B to honor it); :class:`ProcessGrid` owns the
+rank ↔ (row, col) mapping and the block index ranges of a conformally
+partitioned matrix dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..errors import GridError
+
+
+def is_perfect_square(p: int) -> bool:
+    """True when ``p`` is a positive perfect square."""
+    if p <= 0:
+        return False
+    q = math.isqrt(p)
+    return q * q == p
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A square logical grid of ``q*q`` virtual MPI processes."""
+
+    q: int  # grid side, √P
+
+    def __post_init__(self):
+        if self.q <= 0:
+            raise GridError(f"grid side must be positive, got {self.q}")
+
+    @classmethod
+    def for_processes(cls, p: int) -> "ProcessGrid":
+        """Build the grid for ``p`` processes; ``p`` must be a square."""
+        if not is_perfect_square(p):
+            raise GridError(
+                f"HipMCL needs a perfect-square process count, got {p}"
+            )
+        return cls(math.isqrt(p))
+
+    @property
+    def size(self) -> int:
+        """Total process count P."""
+        return self.q * self.q
+
+    def rank_of(self, i: int, j: int) -> int:
+        """Row-major rank of grid coordinate (i, j)."""
+        if not (0 <= i < self.q and 0 <= j < self.q):
+            raise GridError(f"coordinate ({i}, {j}) outside {self.q}x{self.q} grid")
+        return i * self.q + j
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Grid coordinate of ``rank``."""
+        if not (0 <= rank < self.size):
+            raise GridError(f"rank {rank} outside grid of {self.size}")
+        return divmod(rank, self.q)
+
+    def row_members(self, i: int) -> list[int]:
+        """Ranks of grid row ``i`` (an A-broadcast subcommunicator)."""
+        return [self.rank_of(i, j) for j in range(self.q)]
+
+    def col_members(self, j: int) -> list[int]:
+        """Ranks of grid column ``j`` (a B-broadcast subcommunicator)."""
+        return [self.rank_of(i, j) for i in range(self.q)]
+
+    def block_bounds(self, n: int, index: int) -> tuple[int, int]:
+        """Half-open global index range of block ``index`` along a
+        dimension of extent ``n`` (CombBLAS-style near-even split: the
+        first ``n % q`` blocks get one extra element)."""
+        if not (0 <= index < self.q):
+            raise GridError(f"block index {index} outside [0, {self.q})")
+        base, extra = divmod(n, self.q)
+        lo = index * base + min(index, extra)
+        hi = lo + base + (1 if index < extra else 0)
+        return lo, hi
+
+    def owner_of_index(self, n: int, global_index: int) -> int:
+        """Which block index owns ``global_index`` along extent ``n``."""
+        if not (0 <= global_index < n):
+            raise GridError(f"index {global_index} outside [0, {n})")
+        base, extra = divmod(n, self.q)
+        boundary = extra * (base + 1)
+        if global_index < boundary:
+            return global_index // (base + 1)
+        if base == 0:
+            raise GridError(
+                f"index {global_index} unownable: extent {n} < grid {self.q}"
+            )
+        return extra + (global_index - boundary) // base

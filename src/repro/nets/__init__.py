@@ -1,0 +1,27 @@
+"""Workload generators: planted-cluster protein-similarity networks, R-MAT
+graphs, and the catalog of scaled-down analogs of the paper's Table I."""
+
+from .catalog import (
+    CATALOG,
+    LARGE_NETWORKS,
+    MEDIUM_NETWORKS,
+    CatalogEntry,
+    entry,
+    load,
+)
+from .planted import Network, planted_network, powerlaw_cluster_sizes
+from .rmat import rmat_edges, rmat_network
+
+__all__ = [
+    "Network",
+    "planted_network",
+    "powerlaw_cluster_sizes",
+    "rmat_edges",
+    "rmat_network",
+    "CATALOG",
+    "CatalogEntry",
+    "MEDIUM_NETWORKS",
+    "LARGE_NETWORKS",
+    "entry",
+    "load",
+]

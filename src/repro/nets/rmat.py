@@ -1,0 +1,76 @@
+"""Recursive-MATrix (R-MAT) power-law graph generator.
+
+Used for the weakly clustered, skew-degree workloads (the metaclust-like
+regime where cf stays small and rmerge2/heap kernels are competitive), and
+as an adversarial input for load-balance tests: R-MAT's hub vertices
+concentrate nonzeros in a few block rows of the 2-D distribution.
+
+Vectorized: all ``nedges`` coordinates are generated scale-bit by
+scale-bit with one random array per level, no per-edge loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import csc_from_triples, symmetrize_max
+from ..util.rng import as_generator
+from .planted import Network
+
+
+def rmat_edges(
+    scale: int,
+    nedges: int,
+    *,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Generate ``nedges`` R-MAT edge endpoints for a 2**scale graph."""
+    if scale < 1 or scale > 30:
+        raise ValueError(f"scale must be in [1, 30], got {scale}")
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError(f"quadrant probabilities invalid: {a}, {b}, {c}, {d}")
+    rng = as_generator(seed)
+    rows = np.zeros(nedges, dtype=np.int64)
+    cols = np.zeros(nedges, dtype=np.int64)
+    for level in range(scale):
+        r = rng.random(nedges)
+        # Quadrant choice: [a | b / c | d] on (row-bit, col-bit).
+        row_bit = (r >= a + b).astype(np.int64)
+        col_bit = ((r >= a) & (r < a + b) | (r >= a + b + c)).astype(np.int64)
+        rows = (rows << 1) | row_bit
+        cols = (cols << 1) | col_bit
+    return rows, cols
+
+
+def rmat_network(
+    scale: int,
+    edge_factor: int = 8,
+    *,
+    name: str = "rmat",
+    seed=None,
+    **quadrants,
+) -> Network:
+    """Symmetric weighted R-MAT network of ``2**scale`` vertices.
+
+    Weights are uniform in (0, 1]; self loops are dropped (MCL adds its
+    own); ``true_labels`` are all-zero because R-MAT plants no clusters.
+    """
+    n = 1 << scale
+    nedges = edge_factor * n
+    rows, cols = rmat_edges(scale, nedges, seed=seed, **quadrants)
+    rng = as_generator(None if seed is None else np.random.default_rng(seed).integers(2**31))
+    off = rows != cols
+    rows, cols = rows[off], cols[off]
+    weights = as_generator(seed).uniform(1e-6, 1.0, size=len(rows))
+    mat = csc_from_triples((n, n), rows, cols, weights)
+    mat = symmetrize_max(mat)
+    return Network(
+        name=name,
+        matrix=mat,
+        true_labels=np.zeros(n, dtype=np.int64),
+        meta={"scale": scale, "edge_factor": edge_factor},
+    )

@@ -1,0 +1,91 @@
+"""Sparse matrix formats and element-wise kernels (the CombBLAS substrate).
+
+Three storage formats are provided:
+
+* :class:`CSRMatrix` — compressed rows, the orientation the GPU SpGEMM
+  libraries consume;
+* :class:`CSCMatrix` — compressed columns, HipMCL's working orientation;
+* :class:`DCSCMatrix` — doubly compressed columns for hypersparse 2-D
+  blocks (Buluç & Gilbert).
+
+plus conversion routines (including the zero-copy CSC↔CSRᵀ
+reinterpretations of paper §III-B), constructors, element-wise operations,
+and MatrixMarket I/O.
+"""
+
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dcsc import DCSCMatrix
+from .convert import (
+    csc_as_csr_of_transpose,
+    csc_to_csr,
+    csc_to_dcsc,
+    csr_as_csc_of_transpose,
+    csr_to_csc,
+    dcsc_to_csc,
+    dcsc_to_csr,
+)
+from .construct import (
+    block_of_csc,
+    csc_from_triples,
+    csr_from_triples,
+    hstack_csc,
+    identity_csc,
+    random_csc,
+)
+from .ops import (
+    add,
+    add_self_loops,
+    column_max,
+    column_sum_of_squares,
+    filter_threshold,
+    hadamard_power,
+    hadamard_product,
+    normalize_columns,
+    symmetrize_max,
+)
+from .abcio import read_abc, write_abc, write_clusters_with_labels
+from .matio import read_matrix_market, write_matrix_market
+from .stats import (
+    ColumnProfile,
+    block_imbalance,
+    hypersparsity,
+    squaring_profile,
+)
+
+__all__ = [
+    "CSCMatrix",
+    "CSRMatrix",
+    "DCSCMatrix",
+    "csc_as_csr_of_transpose",
+    "csc_to_csr",
+    "csc_to_dcsc",
+    "csr_as_csc_of_transpose",
+    "csr_to_csc",
+    "dcsc_to_csc",
+    "dcsc_to_csr",
+    "block_of_csc",
+    "csc_from_triples",
+    "csr_from_triples",
+    "hstack_csc",
+    "identity_csc",
+    "random_csc",
+    "add",
+    "add_self_loops",
+    "column_max",
+    "column_sum_of_squares",
+    "filter_threshold",
+    "hadamard_power",
+    "hadamard_product",
+    "normalize_columns",
+    "symmetrize_max",
+    "read_matrix_market",
+    "write_matrix_market",
+    "read_abc",
+    "write_abc",
+    "write_clusters_with_labels",
+    "ColumnProfile",
+    "block_imbalance",
+    "hypersparsity",
+    "squaring_profile",
+]

@@ -1,0 +1,165 @@
+"""Shared routines for compressed sparse axis representations.
+
+Both :class:`~repro.sparse.csr.CSRMatrix` (compressed rows) and
+:class:`~repro.sparse.csc.CSCMatrix` (compressed columns) store the triplet
+``(indptr, indices, data)``; the routines here are written against the
+compressed ("major") axis so the two classes stay thin wrappers.
+
+All index arrays are ``int64`` and all value arrays ``float64``; normalizing
+dtypes at the boundary keeps every downstream kernel branch-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+INDEX_DTYPE = np.int64
+VALUE_DTYPE = np.float64
+
+
+def normalize_arrays(indptr, indices, data):
+    """Cast the triplet to canonical dtypes, copying only when needed."""
+    indptr = np.ascontiguousarray(indptr, dtype=INDEX_DTYPE)
+    indices = np.ascontiguousarray(indices, dtype=INDEX_DTYPE)
+    data = np.ascontiguousarray(data, dtype=VALUE_DTYPE)
+    return indptr, indices, data
+
+
+def validate(indptr, indices, data, n_major: int, n_minor: int) -> None:
+    """Check the structural invariants of a compressed representation.
+
+    Raises :class:`FormatError` on: wrong indptr length, non-monotone
+    indptr, indptr/indices length mismatch, or out-of-range minor indices.
+    Sortedness within a major slice is *not* required here (kernels that
+    need it call :func:`sort_within_major`), matching the looseness of CSR
+    in scipy.
+    """
+    if indptr.ndim != 1 or indices.ndim != 1 or data.ndim != 1:
+        raise FormatError("indptr, indices and data must be 1-D arrays")
+    if len(indptr) != n_major + 1:
+        raise FormatError(
+            f"indptr has length {len(indptr)}, expected n_major+1={n_major + 1}"
+        )
+    if len(indices) != len(data):
+        raise FormatError(
+            f"indices ({len(indices)}) and data ({len(data)}) lengths differ"
+        )
+    if n_major > 0:
+        if indptr[0] != 0:
+            raise FormatError(f"indptr[0] must be 0, got {indptr[0]}")
+        if np.any(np.diff(indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if indptr[-1] != len(indices):
+            raise FormatError(
+                f"indptr[-1]={indptr[-1]} does not match nnz={len(indices)}"
+            )
+    elif len(indices) != 0:
+        raise FormatError("matrix with zero major dimension cannot have nonzeros")
+    if len(indices) and (indices.min() < 0 or indices.max() >= n_minor):
+        raise FormatError(
+            f"minor indices out of range [0, {n_minor}): "
+            f"min={indices.min()}, max={indices.max()}"
+        )
+
+
+def sort_within_major(indptr, indices, data):
+    """Return (indices, data) with each major slice sorted by minor index.
+
+    Vectorized: builds one global lexsort key ``major * n_minor + minor``
+    instead of looping over slices — per the vectorize-don't-loop idiom.
+    """
+    nnz = len(indices)
+    if nnz == 0:
+        return indices.copy(), data.copy()
+    major = np.repeat(np.arange(len(indptr) - 1, dtype=INDEX_DTYPE), np.diff(indptr))
+    order = np.lexsort((indices, major))
+    return indices[order], data[order]
+
+
+def has_sorted_indices(indptr, indices) -> bool:
+    """True if each major slice's minor indices are strictly increasing."""
+    if len(indices) <= 1:
+        return True
+    rising = np.diff(indices) > 0
+    # Positions where a new major slice begins (difference may legally drop).
+    boundaries = np.zeros(len(indices) - 1, dtype=bool)
+    starts = indptr[1:-1]
+    boundaries[starts[(starts > 0) & (starts < len(indices))] - 1] = True
+    return bool(np.all(rising | boundaries))
+
+
+def sum_duplicates(indptr, indices, data, n_major: int):
+    """Collapse duplicate (major, minor) entries by summation.
+
+    Returns a new sorted triplet.  Implemented with one lexsort plus
+    ``reduceat`` over group boundaries — no Python-level loop.
+    """
+    nnz = len(indices)
+    if nnz == 0:
+        return indptr.copy(), indices.copy(), data.copy()
+    major = np.repeat(np.arange(n_major, dtype=INDEX_DTYPE), np.diff(indptr))
+    order = np.lexsort((indices, major))
+    major, minor, vals = major[order], indices[order], data[order]
+    new_group = np.empty(nnz, dtype=bool)
+    new_group[0] = True
+    np.not_equal(major[1:], major[:-1], out=new_group[1:])
+    same_minor = minor[1:] == minor[:-1]
+    new_group[1:] |= ~same_minor
+    starts = np.flatnonzero(new_group)
+    out_major = major[starts]
+    out_minor = minor[starts]
+    out_vals = np.add.reduceat(vals, starts)
+    out_indptr = np.zeros(n_major + 1, dtype=INDEX_DTYPE)
+    np.add.at(out_indptr, out_major + 1, 1)
+    np.cumsum(out_indptr, out=out_indptr)
+    return out_indptr, out_minor, out_vals
+
+
+def prune_explicit_zeros(indptr, indices, data, n_major: int):
+    """Drop entries whose stored value is exactly zero."""
+    keep = data != 0.0
+    if keep.all():
+        return indptr.copy(), indices.copy(), data.copy()
+    major = np.repeat(np.arange(n_major, dtype=INDEX_DTYPE), np.diff(indptr))
+    major = major[keep]
+    out_indptr = np.zeros(n_major + 1, dtype=INDEX_DTYPE)
+    np.add.at(out_indptr, major + 1, 1)
+    np.cumsum(out_indptr, out=out_indptr)
+    return out_indptr, indices[keep], data[keep]
+
+
+def major_lengths(indptr) -> np.ndarray:
+    """Number of stored entries in each major slice."""
+    return np.diff(indptr)
+
+
+def expand_major(indptr, n_major: int) -> np.ndarray:
+    """Expand ``indptr`` to one major index per stored entry (COO major)."""
+    return np.repeat(np.arange(n_major, dtype=INDEX_DTYPE), np.diff(indptr))
+
+
+def compress_major(major: np.ndarray, n_major: int) -> np.ndarray:
+    """Build an indptr from a *sorted* array of major indices."""
+    indptr = np.zeros(n_major + 1, dtype=INDEX_DTYPE)
+    np.add.at(indptr, major + 1, 1)
+    np.cumsum(indptr, out=indptr)
+    return indptr
+
+
+def swap_compression(indptr, indices, data, n_major: int, n_minor: int):
+    """Re-compress along the other axis (CSR<->CSC kernel).
+
+    A counting sort over minor indices: O(nnz + n_minor), fully vectorized.
+    Output slices come out sorted by the old major index.
+    """
+    nnz = len(indices)
+    new_indptr = np.zeros(n_minor + 1, dtype=INDEX_DTYPE)
+    if nnz == 0:
+        return new_indptr, indices[:0].copy(), data[:0].copy()
+    np.add.at(new_indptr, indices + 1, 1)
+    np.cumsum(new_indptr, out=new_indptr)
+    major = expand_major(indptr, n_major)
+    order = np.argsort(indices, kind="stable")
+    return new_indptr, major[order], data[order]

@@ -1,0 +1,59 @@
+"""Conversions between the three storage formats.
+
+Includes the zero-copy reinterpretation tricks the paper leans on in
+§III-B: a CSC matrix *is* its transpose stored in CSR, so the GPU pipeline
+computes ``Cᵀ = Bᵀ·Aᵀ`` on CSR views and gets ``C`` back in CSC without any
+physical conversion.
+"""
+
+from __future__ import annotations
+
+from .csc import CSCMatrix
+from .csr import CSRMatrix
+from .dcsc import DCSCMatrix
+
+
+def csr_to_csc(mat: CSRMatrix) -> CSCMatrix:
+    """Physically re-compress a CSR matrix along columns. O(nnz + ncols)."""
+    t = mat.transpose()  # CSR of Aᵀ has A's columns as rows
+    return CSCMatrix(mat.shape, t.indptr, t.indices, t.data, check=False)
+
+
+def csc_to_csr(mat: CSCMatrix) -> CSRMatrix:
+    """Physically re-compress a CSC matrix along rows. O(nnz + nrows)."""
+    t = mat.transpose()
+    return CSRMatrix(mat.shape, t.indptr, t.indices, t.data, check=False)
+
+
+def csc_as_csr_of_transpose(mat: CSCMatrix) -> CSRMatrix:
+    """Reinterpret CSC(A) as CSR(Aᵀ) — no data movement.
+
+    The returned matrix shares ``indptr``/``indices``/``data`` with the
+    input; it has shape ``(ncols, nrows)``.  This is the §III-B identity
+    that lets CSR-only GPU kernels run on HipMCL's CSC blocks.
+    """
+    return CSRMatrix(
+        (mat.ncols, mat.nrows), mat.indptr, mat.indices, mat.data, check=False
+    )
+
+
+def csr_as_csc_of_transpose(mat: CSRMatrix) -> CSCMatrix:
+    """Reinterpret CSR(A) as CSC(Aᵀ) — no data movement."""
+    return CSCMatrix(
+        (mat.ncols, mat.nrows), mat.indptr, mat.indices, mat.data, check=False
+    )
+
+
+def csc_to_dcsc(mat: CSCMatrix) -> DCSCMatrix:
+    """Doubly compress a CSC matrix (drop empty column pointers)."""
+    return DCSCMatrix.from_csc(mat)
+
+
+def dcsc_to_csc(mat: DCSCMatrix) -> CSCMatrix:
+    """Decompress DCSC column pointers; shares the O(nnz) arrays."""
+    return mat.to_csc()
+
+
+def dcsc_to_csr(mat: DCSCMatrix) -> CSRMatrix:
+    """DCSC → CSR via pointer decompression then re-compression."""
+    return csc_to_csr(mat.to_csc())

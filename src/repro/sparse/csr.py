@@ -1,0 +1,192 @@
+"""Compressed Sparse Row matrices.
+
+CSR is the format expected by the (simulated) GPU SpGEMM libraries
+``bhsparse``, ``nsparse`` and ``rmerge2`` (paper §III-B).  The class is a
+thin, immutable-by-convention wrapper over ``(indptr, indices, data)``;
+heavy kernels live in :mod:`repro.spgemm` and operate on the raw arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from . import _compressed as _c
+
+
+class CSRMatrix:
+    """A sparse matrix stored in compressed sparse row format.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)``.
+    indptr, indices, data:
+        Standard CSR arrays; ``indptr`` has length ``nrows + 1``.
+    check:
+        Validate the structural invariants (default ``True``).  Kernels that
+        construct known-good output pass ``check=False`` to skip the O(nnz)
+        validation pass.
+    """
+
+    __slots__ = ("shape", "indptr", "indices", "data")
+
+    def __init__(self, shape, indptr, indices, data, *, check: bool = True):
+        nrows, ncols = int(shape[0]), int(shape[1])
+        if nrows < 0 or ncols < 0:
+            raise ShapeError(f"negative dimensions in shape {shape}")
+        self.shape = (nrows, ncols)
+        self.indptr, self.indices, self.data = _c.normalize_arrays(
+            indptr, indices, data
+        )
+        if check:
+            _c.validate(self.indptr, self.indices, self.data, nrows, ncols)
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def empty(cls, shape) -> "CSRMatrix":
+        """An all-zero matrix of the given shape."""
+        nrows = int(shape[0])
+        return cls(
+            shape,
+            np.zeros(nrows + 1, dtype=_c.INDEX_DTYPE),
+            np.empty(0, dtype=_c.INDEX_DTYPE),
+            np.empty(0, dtype=_c.VALUE_DTYPE),
+            check=False,
+        )
+
+    @classmethod
+    def from_dense(cls, array) -> "CSRMatrix":
+        """Build from a 2-D dense array, dropping zeros."""
+        array = np.asarray(array, dtype=_c.VALUE_DTYPE)
+        if array.ndim != 2:
+            raise ShapeError(f"expected a 2-D array, got ndim={array.ndim}")
+        rows, cols = np.nonzero(array)
+        indptr = _c.compress_major(rows.astype(_c.INDEX_DTYPE), array.shape[0])
+        return cls(array.shape, indptr, cols, array[rows, cols], check=False)
+
+    @classmethod
+    def from_scipy(cls, mat) -> "CSRMatrix":
+        """Build from any scipy.sparse matrix (used heavily in tests)."""
+        m = mat.tocsr()
+        m.sum_duplicates()
+        return cls(m.shape, m.indptr, m.indices, m.data)
+
+    # -- properties --------------------------------------------------------
+
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries."""
+        return len(self.data)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row_lengths(self) -> np.ndarray:
+        """Stored entries per row (length ``nrows``)."""
+        return _c.major_lengths(self.indptr)
+
+    def has_sorted_indices(self) -> bool:
+        """True if every row's column indices are strictly increasing."""
+        return _c.has_sorted_indices(self.indptr, self.indices)
+
+    # -- canonicalization ---------------------------------------------------
+
+    def sorted(self) -> "CSRMatrix":
+        """Copy with column indices sorted within each row."""
+        indices, data = _c.sort_within_major(self.indptr, self.indices, self.data)
+        return CSRMatrix(self.shape, self.indptr.copy(), indices, data, check=False)
+
+    def sum_duplicates(self) -> "CSRMatrix":
+        """Copy with duplicate coordinates summed (also sorts)."""
+        indptr, indices, data = _c.sum_duplicates(
+            self.indptr, self.indices, self.data, self.nrows
+        )
+        return CSRMatrix(self.shape, indptr, indices, data, check=False)
+
+    def pruned_zeros(self) -> "CSRMatrix":
+        """Copy with explicitly-stored zero values removed."""
+        indptr, indices, data = _c.prune_explicit_zeros(
+            self.indptr, self.indices, self.data, self.nrows
+        )
+        return CSRMatrix(self.shape, indptr, indices, data, check=False)
+
+    # -- views & conversions -------------------------------------------------
+
+    def row(self, i: int):
+        """Return views ``(col_indices, values)`` of row ``i``."""
+        if not (0 <= i < self.nrows):
+            raise IndexError(f"row {i} out of range [0, {self.nrows})")
+        lo, hi = self.indptr[i], self.indptr[i + 1]
+        return self.indices[lo:hi], self.data[lo:hi]
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize as a dense 2-D array (tests / tiny matrices only)."""
+        out = np.zeros(self.shape, dtype=_c.VALUE_DTYPE)
+        rows = _c.expand_major(self.indptr, self.nrows)
+        np.add.at(out, (rows, self.indices), self.data)
+        return out
+
+    def to_scipy(self):
+        """Convert to ``scipy.sparse.csr_matrix`` (tests and ground truth)."""
+        import scipy.sparse as sp
+
+        return sp.csr_matrix(
+            (self.data.copy(), self.indices.copy(), self.indptr.copy()),
+            shape=self.shape,
+        )
+
+    def transpose(self) -> "CSRMatrix":
+        """Transpose; a counting-sort re-compression, O(nnz + ncols)."""
+        indptr, indices, data = _c.swap_compression(
+            self.indptr, self.indices, self.data, self.nrows, self.ncols
+        )
+        return CSRMatrix(
+            (self.ncols, self.nrows), indptr, indices, data, check=False
+        )
+
+    def memory_bytes(self) -> int:
+        """Bytes occupied by the three backing arrays (the simulator's unit
+        of host/device memory accounting)."""
+        return self.indptr.nbytes + self.indices.nbytes + self.data.nbytes
+
+    def copy(self) -> "CSRMatrix":
+        return CSRMatrix(
+            self.shape,
+            self.indptr.copy(),
+            self.indices.copy(),
+            self.data.copy(),
+            check=False,
+        )
+
+    # -- comparison -----------------------------------------------------------
+
+    def same_pattern_and_values(self, other: "CSRMatrix", tol: float = 0.0) -> bool:
+        """Exact structural + (toleranced) numeric equality after
+        canonicalization; the workhorse of kernel cross-validation tests."""
+        if self.shape != other.shape:
+            return False
+        a = self.sum_duplicates().pruned_zeros().sorted()
+        b = other.sum_duplicates().pruned_zeros().sorted()
+        if a.nnz != b.nnz:
+            return False
+        if not (
+            np.array_equal(a.indptr, b.indptr)
+            and np.array_equal(a.indices, b.indices)
+        ):
+            return False
+        if tol == 0.0:
+            return bool(np.array_equal(a.data, b.data))
+        return bool(np.allclose(a.data, b.data, rtol=tol, atol=tol))
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRMatrix(shape={self.shape}, nnz={self.nnz}, "
+            f"bytes={self.memory_bytes()})"
+        )

@@ -1,0 +1,83 @@
+"""Expand–Sort–Compress (ESC) SpGEMM.
+
+ESC (Bell, Dalton & Olson; also the backbone of ``bhsparse``-era GPU
+SpGEMM) materializes every intermediate product ``a_ik · b_kj``, sorts the
+triples by (column, row), and compresses runs by summation.  It is the one
+classical SpGEMM formulation that maps onto pure-NumPy primitives with *no*
+per-column Python loop, so this module doubles as the library's fast
+numeric engine: the simulated GPU kernels and the distributed driver use it
+to produce real numeric results while the machine model charges the cost of
+whichever algorithm was *selected*.
+
+Complexity: O(flops · log flops) time, O(flops) transient memory — the
+memory profile that motivates HipMCL's phased execution in the first place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse import CSCMatrix
+from ..sparse import _compressed as _c
+
+
+def spgemm_esc(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
+    """Multiply ``C = A·B`` (both CSC) by expand–sort–compress.
+
+    Output has sorted row indices within each column, duplicates summed,
+    and no explicitly-stored zeros introduced by the expansion (exact
+    cancellations are kept, matching IEEE summation of the other kernels).
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
+        )
+    shape = (a.nrows, b.ncols)
+    if a.nnz == 0 or b.nnz == 0:
+        return CSCMatrix.empty(shape)
+
+    a_col_lens = a.column_lengths()
+    # Expansion: for every nonzero b_kj, replicate column k of A.
+    reps = a_col_lens[b.indices]  # products generated per B-nonzero
+    total = int(reps.sum())
+    if total == 0:
+        return CSCMatrix.empty(shape)
+
+    # Gather offsets into A's arrays for each expanded product: for the
+    # p-th B-nonzero we need A.indices[start_p : start_p + reps_p].  Build
+    # the flat gather index with the classic cumsum-of-resets trick.
+    starts = a.indptr[b.indices]  # first A slot per B-nonzero
+    ends = np.cumsum(reps)
+    flat = np.arange(total, dtype=np.int64)
+    # Subtract the start of each segment, then add A's slice offset.
+    seg_origin = np.repeat(ends - reps, reps)
+    a_slot = flat - seg_origin + np.repeat(starts, reps)
+
+    rows = a.indices[a_slot]
+    prod = a.data[a_slot] * np.repeat(b.data, reps)
+    out_col = np.repeat(
+        _c.expand_major(b.indptr, b.ncols), reps
+    )  # output column = B's column
+
+    # Sort by (column, row) then compress duplicate coordinates.
+    order = np.lexsort((rows, out_col))
+    rows, prod, out_col = rows[order], prod[order], out_col[order]
+    boundary = np.empty(total, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = (rows[1:] != rows[:-1]) | (out_col[1:] != out_col[:-1])
+    group_starts = np.flatnonzero(boundary)
+    c_rows = rows[group_starts]
+    c_cols = out_col[group_starts]
+    c_vals = np.add.reduceat(prod, group_starts)
+    indptr = _c.compress_major(c_cols, b.ncols)
+    return CSCMatrix(shape, indptr, c_rows, c_vals, check=False)
+
+
+def expansion_size(a: CSCMatrix, b: CSCMatrix) -> int:
+    """Transient triple count ESC would materialize (equals ``flops``)."""
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
+        )
+    return int(a.column_lengths()[b.indices].sum())

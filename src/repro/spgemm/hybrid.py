@@ -1,0 +1,111 @@
+"""Hybrid SpGEMM kernel selection (paper §III and §VII-B).
+
+Two metrics drive the choice:
+
+* ``flops`` decides *where*: below a saturation threshold the GPU's
+  parallelism cannot be filled and the CPU wins;
+* ``cf`` decides *which*: at large compression factors hash-table kernels
+  (``cpu-hash`` on CPU, ``nsparse`` on GPU) dominate; at small cf the
+  heap (CPU) or row-merging ``rmerge2`` (GPU) are slightly better.
+
+The thresholds live in a :class:`SelectionPolicy` so the machine model can
+calibrate them; the defaults reproduce the orderings of Fig. 4.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .metrics import WorkProfile
+
+
+class KernelKind(enum.Enum):
+    """The SpGEMM implementations HipMCL can dispatch to."""
+
+    CPU_HEAP = "cpu-heap"
+    CPU_HASH = "cpu-hash"
+    GPU_BHSPARSE = "bhsparse"
+    GPU_NSPARSE = "nsparse"
+    GPU_RMERGE2 = "rmerge2"
+
+    @property
+    def on_gpu(self) -> bool:
+        return self in (
+            KernelKind.GPU_BHSPARSE,
+            KernelKind.GPU_NSPARSE,
+            KernelKind.GPU_RMERGE2,
+        )
+
+
+@dataclass(frozen=True)
+class SelectionPolicy:
+    """Thresholds of the hybrid recipe.
+
+    ``gpu_min_flops``: minimum flops for a local multiply to saturate the
+    device (below it the kernel stays on CPU even when GPUs exist).
+    ``gpu_cf_nsparse_min``: cf at/above which nsparse is chosen on GPU,
+    below it rmerge2.
+    ``cpu_cf_hash_min``: cf at/above which the hash kernel is chosen on
+    CPU, below it the heap (§VI: "for small cf values the heaps show
+    themselves to be slightly more effective").
+    """
+
+    gpu_min_flops: float = 2.0e5
+    gpu_cf_nsparse_min: float = 4.0
+    cpu_cf_hash_min: float = 2.0
+
+    def __post_init__(self):
+        if self.gpu_min_flops < 0:
+            raise ValueError(f"gpu_min_flops must be >= 0: {self.gpu_min_flops}")
+        if self.gpu_cf_nsparse_min < 1.0 or self.cpu_cf_hash_min < 1.0:
+            raise ValueError("cf thresholds must be >= 1 (cf is never below 1)")
+
+
+DEFAULT_POLICY = SelectionPolicy()
+
+
+def select_kernel(
+    profile: WorkProfile,
+    *,
+    gpu_available: bool = True,
+    policy: SelectionPolicy = DEFAULT_POLICY,
+) -> KernelKind:
+    """Pick the kernel for one local SpGEMM from its work profile.
+
+    The decision procedure is the paper's: flops gates CPU vs GPU, cf picks
+    the implementation on the chosen side.
+    """
+    if gpu_available and profile.flops >= policy.gpu_min_flops:
+        if profile.cf >= policy.gpu_cf_nsparse_min:
+            return KernelKind.GPU_NSPARSE
+        return KernelKind.GPU_RMERGE2
+    if profile.cf >= policy.cpu_cf_hash_min:
+        return KernelKind.CPU_HASH
+    return KernelKind.CPU_HEAP
+
+
+def run_kernel(kind: KernelKind, a, b):
+    """Execute the *actual* algorithm named by ``kind`` on host data.
+
+    Used by correctness tests and small-scale runs; the distributed
+    simulator instead runs the fast ESC engine and charges ``kind``'s
+    modeled cost (see :mod:`repro.machine.spec`).  GPU kernel kinds
+    dispatch to the algorithmic re-implementations in
+    :mod:`repro.gpu.libraries`.
+    """
+    from .heap import spgemm_heap
+    from .hashspgemm import spgemm_hash
+
+    if kind is KernelKind.CPU_HEAP:
+        return spgemm_heap(a, b)
+    if kind is KernelKind.CPU_HASH:
+        return spgemm_hash(a, b)
+    from ..gpu.libraries import spgemm_bhsparse, spgemm_nsparse, spgemm_rmerge2
+
+    dispatch = {
+        KernelKind.GPU_BHSPARSE: spgemm_bhsparse,
+        KernelKind.GPU_NSPARSE: spgemm_nsparse,
+        KernelKind.GPU_RMERGE2: spgemm_rmerge2,
+    }
+    return dispatch[kind](a, b)

@@ -1,0 +1,107 @@
+"""SpGEMM work metrics: ``flops`` and compression factor ``cf``.
+
+The paper's notation (§II): for ``C = A·B``,
+
+* ``flops(AB) = Σ_j Σ_{k ∈ inds(B_{*j})} nnz(A_{*k})`` — the number of
+  nontrivial scalar multiply-adds;
+* ``cf(AB) = flops(AB) / nnz(AB)`` — how much the intermediate products
+  compress when summed into C.
+
+Both drive the paper's kernel-selection recipe (hash beats heap at large
+cf; nsparse beats rmerge2 at large cf; GPU only pays off above a flops
+threshold) and the crossover between the exact and probabilistic memory
+estimators.  Everything here is exact and vectorized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse import CSCMatrix
+from ..sparse import _compressed as _c
+
+
+def flops_per_column(a: CSCMatrix, b: CSCMatrix) -> np.ndarray:
+    """``flops`` contributed by each output column of ``A·B``.
+
+    For output column j this is the sum of ``nnz(A_{*k})`` over the row
+    indices k of ``B_{*j}``.  One gather + one ``reduceat`` — no loops.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
+        )
+    a_col_lens = a.column_lengths()  # nnz(A_{*k}) for every k
+    per_entry = a_col_lens[b.indices]  # one term per nonzero of B
+    out = np.zeros(b.ncols, dtype=np.int64)
+    lens = b.column_lengths()
+    nonempty = np.flatnonzero(lens)
+    if len(nonempty):
+        out[nonempty] = np.add.reduceat(per_entry, b.indptr[nonempty])
+    return out
+
+
+def flops(a: CSCMatrix, b: CSCMatrix) -> int:
+    """Total ``flops(AB)`` (multiply-add pairs with both operands nonzero)."""
+    a_col_lens = a.column_lengths()
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
+        )
+    return int(a_col_lens[b.indices].sum())
+
+
+def compression_factor(a: CSCMatrix, b: CSCMatrix, c_nnz: int) -> float:
+    """``cf(AB) = flops / nnz(C)``; 1.0 when the product is empty."""
+    if c_nnz < 0:
+        raise ValueError(f"c_nnz must be non-negative, got {c_nnz}")
+    f = flops(a, b)
+    if c_nnz == 0:
+        return 1.0
+    return f / c_nnz
+
+
+@dataclass(frozen=True)
+class WorkProfile:
+    """Summary of one SpGEMM instance's work characteristics.
+
+    The hybrid kernel selector (paper §III, §VII-B) consumes exactly these
+    numbers; the benchmark harness records them per SUMMA stage.
+    """
+
+    flops: int
+    nnz_a: int
+    nnz_b: int
+    nnz_c: int
+    cf: float
+    max_column_flops: int
+    mean_column_flops: float
+
+    @property
+    def is_empty(self) -> bool:
+        return self.flops == 0
+
+
+def work_profile(a: CSCMatrix, b: CSCMatrix, c_nnz: int) -> WorkProfile:
+    """Build a :class:`WorkProfile` for ``A·B`` given the output nnz.
+
+    ``c_nnz`` may come from the exact symbolic pass or from the Cohen
+    estimator — the profile does not care, which is precisely what lets the
+    probabilistic estimator substitute for symbolic SpGEMM.
+    """
+    per_col = flops_per_column(a, b)
+    total = int(per_col.sum())
+    cf = (total / c_nnz) if c_nnz > 0 else 1.0
+    n_used = max(1, int((per_col > 0).sum()))
+    return WorkProfile(
+        flops=total,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        nnz_c=int(c_nnz),
+        cf=cf,
+        max_column_flops=int(per_col.max(initial=0)),
+        mean_column_flops=total / n_used,
+    )

@@ -1,0 +1,68 @@
+"""Symbolic SpGEMM: exact output structure without numeric values.
+
+Original HipMCL runs the whole distributed multiplication twice — once
+symbolically to size buffers and pick the phase count, once numerically
+(§I, §V).  The symbolic pass never materializes C's values but still costs
+O(flops), which the paper replaces with the probabilistic estimator of
+:mod:`repro.spgemm.estimator`.  This module provides the exact pass, both
+as the correctness reference for the estimator and as the "exact" branch
+the optimized HipMCL falls back to when cf is small (§VII-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..sparse import CSCMatrix
+from ..sparse import _compressed as _c
+
+
+def symbolic_nnz_per_column(a: CSCMatrix, b: CSCMatrix) -> np.ndarray:
+    """Exact ``nnz`` of every column of ``A·B`` (no values computed).
+
+    Pattern-only expand–sort–compress: materializes the flops-many row
+    indices, deduplicates per output column.  Memory O(flops) transient —
+    the very cost profile the probabilistic estimator avoids.
+    """
+    if a.ncols != b.nrows:
+        raise ShapeError(
+            f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
+        )
+    counts = np.zeros(b.ncols, dtype=np.int64)
+    if a.nnz == 0 or b.nnz == 0:
+        return counts
+    a_col_lens = a.column_lengths()
+    reps = a_col_lens[b.indices]
+    total = int(reps.sum())
+    if total == 0:
+        return counts
+    starts = a.indptr[b.indices]
+    ends = np.cumsum(reps)
+    flat = np.arange(total, dtype=np.int64)
+    a_slot = flat - np.repeat(ends - reps, reps) + np.repeat(starts, reps)
+    rows = a.indices[a_slot]
+    out_col = np.repeat(_c.expand_major(b.indptr, b.ncols), reps)
+    # Dedup (col, row) pairs via a fused sort key.
+    key = out_col * np.int64(a.nrows) + rows
+    key = np.unique(key)
+    np.add.at(counts, (key // a.nrows).astype(np.int64), 1)
+    return counts
+
+
+def symbolic_nnz(a: CSCMatrix, b: CSCMatrix) -> int:
+    """Exact total ``nnz(A·B)``."""
+    return int(symbolic_nnz_per_column(a, b).sum())
+
+
+def symbolic_operation_count(a: CSCMatrix, b: CSCMatrix) -> float:
+    """Modeled cost of the symbolic pass: O(flops).
+
+    The paper's comparison (Fig. 6 bottom): exact estimation costs
+    ``cf · nnz(C) = flops`` while the probabilistic scheme costs
+    ``r · (nnz A + nnz B)`` — the crossover in later MCL iterations falls
+    out of these two counts.
+    """
+    from .metrics import flops
+
+    return float(flops(a, b))

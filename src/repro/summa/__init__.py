@@ -1,0 +1,30 @@
+"""Distributed SpGEMM: 2-D distribution, Sparse SUMMA, pipelined variant,
+and memory-driven phase planning."""
+
+from .analysis import (
+    CommEstimate,
+    communication_1d,
+    communication_2d,
+    communication_3d,
+    compare_decompositions,
+)
+from .distmatrix import DistributedCSC
+from .engine3d import Summa3DResult, summa3d_multiply
+from .engine import SummaConfig, SummaResult, summa_multiply
+from .phases import PhasePlan, plan_phases
+
+__all__ = [
+    "DistributedCSC",
+    "SummaConfig",
+    "SummaResult",
+    "summa_multiply",
+    "PhasePlan",
+    "plan_phases",
+    "CommEstimate",
+    "communication_1d",
+    "communication_2d",
+    "communication_3d",
+    "compare_decompositions",
+    "Summa3DResult",
+    "summa3d_multiply",
+]

@@ -1,0 +1,476 @@
+"""The distributed SpGEMM engine: Sparse SUMMA and Pipelined Sparse SUMMA.
+
+One engine implements both §II's classic bulk-synchronous Sparse SUMMA and
+§III's Pipelined Sparse SUMMA; a :class:`SummaConfig` selects the behavior:
+
+* ``pipelined=False, use_gpu=False, kernel="heap", merge="multiway"`` is
+  original HipMCL's expansion;
+* ``pipelined=True, use_gpu=True, kernel="hybrid", merge="binary"`` is the
+  paper's optimized expansion.
+
+Execution model: every rank's program runs in one address space against
+real submatrices, while each rank's CPU/GPU :class:`ResourceTimeline`
+advances by modeled durations.  Broadcasts synchronize their
+subcommunicator (blocking collectives); in pipelined mode the stage-k GPU
+multiply runs concurrently with the stage-(k+1) broadcasts and the CPU
+merge events of the binary schedule, because nothing barriers the ranks
+between stages.  In classic mode a global barrier closes every stage
+(bulk-synchronous, as HipMCL was).
+
+Phased execution (§II, §V): when the caller passes ``phases=h > 1``, each
+local B block contributes only its p-th column slice per phase, the phase's
+output is handed to ``phase_callback`` (the HipMCL driver prunes there —
+the fused expand+prune), and A is re-broadcast every phase — exactly the
+extra communication the pipelining hides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import DeviceMemoryError
+from ..gpu.device import GPUDevice
+from ..gpu.multigpu import split_columns
+from ..machine.spec import MachineSpec, SUMMIT_LIKE
+from ..merge import SCHEDULES, TripleList
+from ..mpi.comm import VirtualComm
+from ..sparse import CSCMatrix, hstack_csc
+from ..spgemm.esc import spgemm_esc
+from ..spgemm.hashspgemm import hash_operation_count
+from ..spgemm.heap import heap_operation_count
+from ..spgemm.hybrid import KernelKind, select_kernel
+from ..spgemm.metrics import WorkProfile
+from .distmatrix import DistributedCSC
+
+
+def _per_column_flops(a_col_lens: np.ndarray, b: CSCMatrix) -> np.ndarray:
+    """flops per output column given A's precomputed column lengths."""
+    per_entry = a_col_lens[b.indices]
+    out = np.zeros(b.ncols, dtype=np.int64)
+    lens = b.column_lengths()
+    nonempty = np.flatnonzero(lens)
+    if len(nonempty):
+        out[nonempty] = np.add.reduceat(per_entry, b.indptr[nonempty])
+    return out
+
+
+def _profile_from_per_col(
+    per_col: np.ndarray, a: CSCMatrix, b: CSCMatrix, c_nnz: int
+) -> WorkProfile:
+    """Build a WorkProfile without recomputing flops (engine hot path)."""
+    total = int(per_col.sum())
+    n_used = max(1, int((per_col > 0).sum()))
+    return WorkProfile(
+        flops=total,
+        nnz_a=a.nnz,
+        nnz_b=b.nnz,
+        nnz_c=int(c_nnz),
+        cf=(total / c_nnz) if c_nnz > 0 else 1.0,
+        max_column_flops=int(per_col.max(initial=0)),
+        mean_column_flops=total / n_used,
+    )
+
+_KERNEL_NAMES = {
+    "heap": KernelKind.CPU_HEAP,
+    "cpu-heap": KernelKind.CPU_HEAP,
+    "hash": KernelKind.CPU_HASH,
+    "cpu-hash": KernelKind.CPU_HASH,
+    "bhsparse": KernelKind.GPU_BHSPARSE,
+    "nsparse": KernelKind.GPU_NSPARSE,
+    "rmerge2": KernelKind.GPU_RMERGE2,
+}
+
+
+@dataclass(frozen=True)
+class SummaConfig:
+    """Knobs of one distributed multiplication."""
+
+    spec: MachineSpec = SUMMIT_LIKE
+    kernel: str = "hybrid"  # a _KERNEL_NAMES key, or "hybrid"
+    merge: str = "binary"  # "multiway" | "twoway" | "binary"
+    pipelined: bool = True
+    use_gpu: bool = True
+    gpus_per_process: int = 6
+    threads: int = 40
+    #: Thread-based (one fat process per node) vs process-based node
+    #: management — affects the pruning NUMA penalty (Fig. 5).
+    threaded_node: bool = True
+    #: Execute the genuinely selected kernel implementation instead of the
+    #: fast ESC engine (validation runs; slower, same results).
+    run_real_kernels: bool = False
+    #: Record per-event (rank, phase, stage, kind, start, end) tuples in
+    #: ``SummaResult.trace`` — used to regenerate Fig. 2's timeline.
+    trace: bool = False
+
+    def __post_init__(self):
+        if self.kernel != "hybrid" and self.kernel not in _KERNEL_NAMES:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; options: "
+                f"{['hybrid', *sorted(_KERNEL_NAMES)]}"
+            )
+        if self.merge not in SCHEDULES:
+            raise ValueError(
+                f"unknown merge schedule {self.merge!r}; "
+                f"options: {sorted(SCHEDULES)}"
+            )
+        if self.gpus_per_process < 1 or self.threads < 1:
+            raise ValueError("gpus_per_process and threads must be >= 1")
+
+
+@dataclass
+class SummaResult:
+    """Distributed product plus the accounting the experiments read."""
+
+    dist_c: DistributedCSC
+    kernel_selections: Counter = field(default_factory=Counter)
+    gpu_fallbacks: int = 0  # device-OOM falls back to CPU hash
+    merge_peak_event_elements: int = 0  # max over ranks/phases
+    merge_peak_resident_elements: int = 0
+    merge_operations: float = 0.0
+    phases: int = 1
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    stage_flops: int = 0
+    #: Event timeline (rank, phase, stage, kind, start, end) when traced.
+    trace: list[tuple[int, int, int, str, float, float]] = field(
+        default_factory=list
+    )
+    #: Largest per-rank transient footprint observed in any phase: the
+    #: merge-resident triples plus the stage's input blocks.  This is the
+    #: quantity the phase planner (§V) is supposed to keep under the
+    #: per-process budget.
+    max_rank_resident_bytes: int = 0
+
+
+def _pick_kernel(
+    config: SummaConfig,
+    profile,
+    gpu_ok: bool,
+) -> KernelKind:
+    if config.kernel == "hybrid":
+        return select_kernel(
+            profile,
+            gpu_available=config.use_gpu and gpu_ok,
+            policy=config.spec.selection_policy(),
+        )
+    kind = _KERNEL_NAMES[config.kernel]
+    if kind.on_gpu and not (config.use_gpu and gpu_ok):
+        return KernelKind.CPU_HASH  # forced-GPU config without a usable GPU
+    return kind
+
+
+def _cpu_kernel_ops(kind: KernelKind, a, b, c_nnz: int) -> float:
+    if kind is KernelKind.CPU_HEAP:
+        return heap_operation_count(a, b)
+    return hash_operation_count(a, b, c_nnz)
+
+
+def _gpu_stage_time(
+    spec: MachineSpec,
+    kind: KernelKind,
+    a: CSCMatrix,
+    b: CSCMatrix,
+    product: CSCMatrix,
+    devices: list[GPUDevice],
+    per_col_flops: np.ndarray,
+) -> tuple[float, int, int]:
+    """Kernel-only seconds (concurrent devices → max share), H2D and D2H
+    bytes for one offloaded local multiply, with device-memory checks.
+
+    Raises :class:`DeviceMemoryError` when any device's share does not fit;
+    the caller falls back to the CPU kernel (§III's memory rationale for
+    the hybrid CPU-GPU approach).
+    """
+    g = len(devices)
+    a_bytes = a.memory_bytes()
+    h2d = d2h = 0
+    worst = 0.0
+    for dev, (lo, hi) in zip(devices, split_columns(b.ncols, g)):
+        b_bytes = (
+            int(b.indptr[hi] - b.indptr[lo]) * 16 + (hi - lo + 1) * 8
+        )
+        c_nnz = int(product.indptr[hi] - product.indptr[lo])
+        c_bytes = c_nnz * 16 + (hi - lo + 1) * 8
+        dev.allocate("A", a_bytes)
+        try:
+            dev.allocate("B", b_bytes)
+            dev.allocate("C", c_bytes)
+        except DeviceMemoryError:
+            dev.free_all()
+            raise
+        dev.count_launch()
+        slab_flops = float(per_col_flops[lo:hi].sum())
+        cf = slab_flops / c_nnz if c_nnz else 1.0
+        worst = max(
+            worst,
+            spec.gpu_spgemm_time(kind, slab_flops, cf, a_bytes + b_bytes),
+        )
+        h2d += a_bytes + b_bytes
+        d2h += c_bytes
+        dev.free_all()
+    return worst, h2d, d2h
+
+
+class _RankMergeState:
+    """Per-rank merge schedule plus the timing of its events."""
+
+    def __init__(self, shape, merge_kind: str):
+        self.schedule = SCHEDULES[merge_kind](shape)
+        self.events_charged = 0
+        self.last_available = 0.0
+
+    def push(self, triples: TripleList, available_at: float):
+        self.schedule.push(triples)
+        self.last_available = max(self.last_available, available_at)
+        return self.schedule.events[self.events_charged :]
+
+    def mark_charged(self):
+        self.events_charged = len(self.schedule.events)
+
+    def finish(self):
+        outcome = self.schedule.finish()
+        new = outcome.events[self.events_charged :]
+        self.events_charged = len(outcome.events)
+        return outcome, new
+
+
+def summa_multiply(
+    dist_a: DistributedCSC,
+    dist_b: DistributedCSC,
+    comm: VirtualComm,
+    config: SummaConfig,
+    *,
+    phases: int = 1,
+    phase_callback=None,
+    devices: dict[int, list[GPUDevice]] | None = None,
+) -> SummaResult:
+    """Compute ``C = A·B`` on the grid, per the configured algorithm.
+
+    ``phase_callback(blocks, phase_index)`` receives the phase's per-rank
+    output slabs (dict ``(i, j) -> CSCMatrix``) and returns the (pruned)
+    slabs to keep; rank clocks may be charged inside the callback (the
+    HipMCL driver charges pruning there).
+    """
+    grid = dist_a.grid
+    if dist_b.grid.q != grid.q:
+        raise ValueError(
+            f"grid mismatch: A on {grid.q}x{grid.q}, B on "
+            f"{dist_b.grid.q}x{dist_b.grid.q}"
+        )
+    if dist_a.global_shape[1] != dist_b.global_shape[0]:
+        raise ValueError(
+            f"inner dimension mismatch: {dist_a.global_shape} x "
+            f"{dist_b.global_shape}"
+        )
+    if phases < 1:
+        raise ValueError(f"phases must be >= 1, got {phases}")
+    q = grid.q
+    spec = config.spec
+    if devices is None and config.use_gpu:
+        devices = {
+            r: [
+                GPUDevice(spec, index=d)
+                for d in range(config.gpus_per_process)
+            ]
+            for r in range(grid.size)
+        }
+
+    result = SummaResult(
+        dist_c=DistributedCSC(
+            (dist_a.global_shape[0], dist_b.global_shape[1]), grid, {}
+        ),
+        phases=phases,
+    )
+    kept_slabs: dict[tuple[int, int], list[CSCMatrix]] = {
+        (i, j): [] for i in range(q) for j in range(q)
+    }
+
+    # Pre-slice B's blocks per phase (local column ranges align across a
+    # block column because widths are identical within it).
+    def phase_slab(k: int, j: int, p: int) -> CSCMatrix:
+        blk = dist_b.block(k, j)
+        lo, hi = _phase_bounds(blk.ncols, phases, p)
+        return blk.column_slab(lo, hi)
+
+    for p in range(phases):
+        merge_states = {
+            (i, j): _RankMergeState(
+                (
+                    dist_a.block(i, 0).nrows,
+                    phase_slab(0, j, p).ncols,
+                ),
+                config.merge,
+            )
+            for i in range(q)
+            for j in range(q)
+        }
+        input_bytes_peak = np.zeros((q, q), dtype=np.int64)
+        for k in range(q):
+            slabs = [phase_slab(k, j, p) for j in range(q)]
+            # -- broadcasts: A along rows, B along columns ------------------
+            a_bytes_row = np.zeros(q, dtype=np.int64)
+            b_bytes_col = np.zeros(q, dtype=np.int64)
+            for i in range(q):
+                members = grid.row_members(i)
+                nbytes = dist_a.block_storage_bytes(i, k)
+                a_bytes_row[i] = nbytes
+                start = max(comm.clocks[r].cpu.free_at for r in members)
+                end = comm.broadcast(members, nbytes, "summa_bcast")
+                if config.trace:
+                    result.trace.append(
+                        (grid.rank_of(i, k), p, k, "bcast_A", start, end)
+                    )
+            for j in range(q):
+                slab = slabs[j]
+                nzc = int(np.count_nonzero(np.diff(slab.indptr)))
+                nbytes = 16 * slab.nnz + 16 * nzc + 8
+                b_bytes_col[j] = nbytes
+                members = grid.col_members(j)
+                start = max(comm.clocks[r].cpu.free_at for r in members)
+                end = comm.broadcast(members, nbytes, "summa_bcast")
+                if config.trace:
+                    result.trace.append(
+                        (grid.rank_of(k, j), p, k, "bcast_B", start, end)
+                    )
+            np.maximum(
+                input_bytes_peak,
+                a_bytes_row[:, None] + b_bytes_col[None, :],
+                out=input_bytes_peak,
+            )
+            # -- local multiplies ---------------------------------------------
+            for i in range(q):
+                a_blk = dist_a.block(i, k)
+                a_col_lens = a_blk.column_lengths()
+                for j in range(q):
+                    rank = grid.rank_of(i, j)
+                    clock = comm.clocks[rank]
+                    b_blk = slabs[j]
+                    state = merge_states[(i, j)]
+                    if a_blk.nnz == 0 or b_blk.nnz == 0:
+                        continue
+                    product = spgemm_esc(a_blk, b_blk)
+                    per_col = _per_column_flops(a_col_lens, b_blk)
+                    profile = _profile_from_per_col(
+                        per_col, a_blk, b_blk, product.nnz
+                    )
+                    result.stage_flops += profile.flops
+                    gpu_ok = config.use_gpu and devices is not None
+                    kind = _pick_kernel(config, profile, gpu_ok)
+                    if config.run_real_kernels and product.nnz:
+                        from ..spgemm.hybrid import run_kernel
+
+                        product = run_kernel(kind, a_blk, b_blk)
+                    if kind.on_gpu:
+                        try:
+                            kern_s, h2d, d2h = _gpu_stage_time(
+                                spec, kind, a_blk, b_blk, product,
+                                devices[rank], per_col,
+                            )
+                        except DeviceMemoryError:
+                            kind = KernelKind.CPU_HASH
+                            result.gpu_fallbacks += 1
+                    result.kernel_selections[kind.value] += 1
+                    if kind.on_gpu:
+                        # Transfer occupies both host and device; the CPU
+                        # is released as soon as the inputs are on the
+                        # device (§III), the GPU continues into the kernel.
+                        start = max(clock.cpu.free_at, clock.gpu.free_at)
+                        h2d_s = spec.h2d_time(h2d)
+                        clock.cpu.schedule(start, h2d_s, "h2d")
+                        clock.gpu.schedule(start, h2d_s, "h2d")
+                        mult_end = clock.gpu.schedule(
+                            clock.gpu.free_at, kern_s, "local_spgemm"
+                        )
+                        done = clock.gpu.schedule(
+                            clock.gpu.free_at, spec.d2h_time(d2h), "d2h"
+                        )
+                        if config.trace:
+                            result.trace.extend(
+                                (
+                                    (rank, p, k, "h2d", start, start + h2d_s),
+                                    (rank, p, k, "gpu_mult",
+                                     mult_end - kern_s, mult_end),
+                                    (rank, p, k, "d2h", mult_end, done),
+                                )
+                            )
+                        result.h2d_bytes += h2d
+                        result.d2h_bytes += d2h
+                        if not config.pipelined and done > clock.cpu.free_at:
+                            # Bulk-synchronous: the CPU blocks on the
+                            # device result before doing anything else.
+                            clock.cpu.idle += done - clock.cpu.free_at
+                            clock.cpu.free_at = done
+                        available = done
+                    else:
+                        ops = _cpu_kernel_ops(kind, a_blk, b_blk, product.nnz)
+                        dur = spec.cpu_spgemm_time(kind, ops, config.threads)
+                        available = clock.cpu.schedule(
+                            clock.cpu.free_at, dur, "local_spgemm"
+                        )
+                        if config.trace:
+                            result.trace.append(
+                                (rank, p, k, "cpu_mult",
+                                 available - dur, available)
+                            )
+                    # -- merge events triggered by this arrival -----------------
+                    new_events = state.push(
+                        TripleList.from_csc(product), available
+                    )
+                    for ev in new_events:
+                        dur = spec.merge_time(ev.operations, config.threads)
+                        end = clock.cpu.schedule(
+                            max(clock.cpu.free_at, available), dur, "merge"
+                        )
+                        if config.trace:
+                            result.trace.append(
+                                (rank, p, k, "merge", end - dur, end)
+                            )
+                    state.mark_charged()
+            if not config.pipelined:
+                comm.barrier()
+        # -- phase wrap-up: final merges, callback -----------------------------
+        phase_blocks: dict[tuple[int, int], CSCMatrix] = {}
+        for (i, j), state in merge_states.items():
+            rank = grid.rank_of(i, j)
+            clock = comm.clocks[rank]
+            outcome, new_events = state.finish()
+            for ev in new_events:
+                clock.cpu.schedule(
+                    max(clock.cpu.free_at, state.last_available),
+                    spec.merge_time(ev.operations, config.threads),
+                    "merge",
+                )
+            result.merge_operations += outcome.operations
+            result.merge_peak_event_elements = max(
+                result.merge_peak_event_elements, outcome.peak_event_elements
+            )
+            result.merge_peak_resident_elements = max(
+                result.merge_peak_resident_elements,
+                outcome.peak_resident_elements,
+            )
+            result.max_rank_resident_bytes = max(
+                result.max_rank_resident_bytes,
+                outcome.peak_resident_elements * 24
+                + int(input_bytes_peak[i, j]),
+            )
+            phase_blocks[(i, j)] = outcome.result.to_csc()
+        if phase_callback is not None:
+            phase_blocks = phase_callback(phase_blocks, p)
+        for key, blk in phase_blocks.items():
+            kept_slabs[key].append(blk)
+        if not config.pipelined:
+            comm.barrier()
+
+    for key, slabs in kept_slabs.items():
+        result.dist_c.blocks[key] = hstack_csc(slabs)
+    return result
+
+
+def _phase_bounds(ncols: int, phases: int, p: int) -> tuple[int, int]:
+    """Near-even column range of phase ``p`` within a local block."""
+    base, extra = divmod(ncols, phases)
+    lo = p * base + min(p, extra)
+    return lo, lo + base + (1 if p < extra else 0)

@@ -1,0 +1,192 @@
+"""Split-3-D sparse matrix multiplication on the simulated machine.
+
+The paper stops at remarks about 3-D algorithms (§II: redistribution may
+not amortize; §VII-E: "GPU idle times can be reduced further ... via
+adapting 3D SpGEMM [9]").  This module *implements* the split-3-D scheme
+of Azad et al. (SISC'16) on the same virtual machine, so the remarks can
+be tested as measurements rather than formulas:
+
+* ``P = c · q₃²`` processes form ``c`` layers of ``q₃ × q₃`` grids;
+* A is split by *columns* across layers, B by *rows*, so layer ``l``
+  computes the full-shape partial product ``C⁽ˡ⁾ = A(:, sₗ) · B(sₗ, :)``
+  with an ordinary (pipelined) Sparse SUMMA of only q₃ stages;
+* the per-fiber all-to-all then combines the ``c`` partial blocks of each
+  grid position (charged on the clocks, merged for real).
+
+Everything numeric is real; the result is validated against the 2-D
+engine and the dense product in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import GridError
+from ..machine.spec import MachineSpec
+from ..merge.lists import BYTES_PER_TRIPLE, TripleList, merge_lists
+from ..mpi.comm import VirtualComm
+from ..mpi.grid import ProcessGrid, is_perfect_square
+from ..sparse import CSCMatrix, block_of_csc
+from .distmatrix import DistributedCSC
+from .engine import SummaConfig, SummaResult, summa_multiply
+
+
+class _LayerComm:
+    """A layer's view of the global communicator: ranks offset by
+    ``layer · q₃²`` so :func:`summa_multiply` can run unmodified."""
+
+    def __init__(self, parent: VirtualComm, offset: int, size: int):
+        self._parent = parent
+        self._offset = offset
+        self.clocks = parent.clocks[offset : offset + size]
+        self.traffic = parent.traffic
+        self.spec = parent.spec
+
+    @property
+    def size(self) -> int:
+        return len(self.clocks)
+
+    def _shift(self, ranks):
+        return [r + self._offset for r in ranks]
+
+    def broadcast(self, ranks, nbytes, account="summa_bcast"):
+        return self._parent.broadcast(self._shift(ranks), nbytes, account)
+
+    def allreduce(self, ranks, nbytes, account="allreduce"):
+        return self._parent.allreduce(self._shift(ranks), nbytes, account)
+
+    def alltoall(self, ranks, nbytes, account="exchange"):
+        return self._parent.alltoall(self._shift(ranks), nbytes, account)
+
+    def barrier(self, ranks=None):
+        ranks = list(range(self.size)) if ranks is None else ranks
+        return self._parent.barrier(self._shift(ranks))
+
+
+@dataclass
+class Summa3DResult:
+    """Product and accounting of one split-3-D multiplication."""
+
+    matrix: CSCMatrix
+    layers: int
+    layer_results: list[SummaResult] = field(default_factory=list)
+    redistribution_seconds: float = 0.0
+    fiber_combine_seconds: float = 0.0
+
+    @property
+    def kernel_selections(self):
+        from collections import Counter
+
+        total = Counter()
+        for r in self.layer_results:
+            total.update(r.kernel_selections)
+        return total
+
+
+def _layer_slices(n: int, layers: int) -> list[tuple[int, int]]:
+    base, extra = divmod(n, layers)
+    out, lo = [], 0
+    for l in range(layers):
+        hi = lo + base + (1 if l < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def summa3d_multiply(
+    a: CSCMatrix,
+    b: CSCMatrix,
+    comm: VirtualComm,
+    config: SummaConfig,
+    layers: int,
+    *,
+    charge_redistribution: bool = True,
+) -> Summa3DResult:
+    """Compute ``C = A·B`` with ``layers`` layers on ``comm``'s processes.
+
+    ``comm.size`` must equal ``layers · q₃²`` for a square q₃.  When
+    ``charge_redistribution`` is set, the one-time 2-D → 3-D data movement
+    (each process ships its local share along its fiber) is charged before
+    the multiplication — §II's caveat, measurable.
+    """
+    if a.ncols != b.nrows:
+        raise GridError(
+            f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
+        )
+    if layers < 1:
+        raise GridError(f"layers must be >= 1, got {layers}")
+    if comm.size % layers:
+        raise GridError(
+            f"{comm.size} processes do not split into {layers} layers"
+        )
+    per_layer = comm.size // layers
+    if not is_perfect_square(per_layer):
+        raise GridError(f"layer size {per_layer} is not a perfect square")
+    grid = ProcessGrid.for_processes(per_layer)
+    spec: MachineSpec = comm.spec
+
+    t_redist0 = comm.barrier()
+    if charge_redistribution and layers > 1:
+        share = 16 * max(1, (a.nnz + b.nnz) // comm.size)
+        for base in range(0, comm.size, layers):
+            # One fiber = the same grid position across layers.  Fibers
+            # are disjoint, so charging them per group is faithful.
+            fiber = list(range(base, base + layers))
+            comm.alltoall(fiber, share, "redistribution")
+
+    slices = _layer_slices(a.ncols, layers)
+    t_start = comm.barrier()
+    layer_results: list[SummaResult] = []
+    partial_lists: dict[tuple[int, int], list[TripleList]] = {}
+    for l, (lo, hi) in enumerate(slices):
+        a_l = a.column_slab(lo, hi)
+        b_l = block_of_csc(b, lo, hi, 0, b.ncols)
+        dist_a = DistributedCSC.from_global(a_l, grid)
+        dist_b = DistributedCSC.from_global(b_l, grid)
+        layer_comm = _LayerComm(comm, l * per_layer, per_layer)
+        res = summa_multiply(dist_a, dist_b, layer_comm, config)
+        layer_results.append(res)
+        for key, blk in res.dist_c.blocks.items():
+            partial_lists.setdefault(key, []).append(
+                TripleList.from_csc(blk)
+            )
+
+    # -- fiber combine: all-to-all + merge of the c partial blocks ---------
+    t_mult_done = comm.barrier()
+    out_blocks: dict[tuple[int, int], CSCMatrix] = {}
+    for key, lists in partial_lists.items():
+        i, j = key
+        fiber = [l * per_layer + grid.rank_of(i, j) for l in range(layers)]
+        pair_bytes = BYTES_PER_TRIPLE * max(
+            1, sum(len(t) for t in lists) // max(1, layers * layers)
+        )
+        comm.alltoall(fiber, pair_bytes, "fiber_combine")
+        merged = merge_lists(lists)
+        ops = sum(len(t) for t in lists) * max(
+            1.0, np.log2(max(2, layers))
+        )
+        for rank in fiber:
+            clock = comm.clocks[rank]
+            clock.cpu.schedule(
+                clock.cpu.free_at,
+                spec.merge_time(ops / layers, config.threads),
+                "fiber_combine",
+            )
+        out_blocks[key] = merged.to_csc()
+    t_end = comm.barrier()
+
+    shape = (a.nrows, b.ncols)
+    dist_c = DistributedCSC(shape, grid, out_blocks)
+    return Summa3DResult(
+        matrix=dist_c.to_global(),
+        layers=layers,
+        layer_results=layer_results,
+        redistribution_seconds=(
+            t_start - t_redist0
+            if charge_redistribution and layers > 1
+            else 0.0
+        ),
+        fiber_combine_seconds=t_end - t_mult_done,
+    )

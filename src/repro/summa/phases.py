@@ -1,0 +1,60 @@
+"""Memory-driven phase planning (paper §II and §V).
+
+HipMCL expands-and-prunes in ``h`` phases when the *unpruned* product would
+not fit in aggregate memory; the phase count comes from an estimate of
+``nnz(A·B)`` — exact symbolic SpGEMM in original HipMCL, the probabilistic
+Cohen estimator in the optimized one.  Under- and over-estimation shift
+``h`` exactly as §VII-D discusses: underestimation risks out-of-memory
+(compensated by handing the planner a deflated budget), overestimation
+just adds phases.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..merge.lists import BYTES_PER_TRIPLE
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """The planner's decision for one expansion."""
+
+    phases: int
+    estimated_nnz: float
+    bytes_per_process: float
+    budget_bytes: int
+
+
+def plan_phases(
+    estimated_nnz: float,
+    nprocs: int,
+    budget_bytes: int,
+    *,
+    safety_factor: float = 1.0,
+    max_phases: int = 64,
+) -> PhasePlan:
+    """Choose the phase count for an expansion of ``estimated_nnz`` output
+    elements over ``nprocs`` processes with ``budget_bytes`` each.
+
+    ``safety_factor > 1`` deflates the budget — the §VII-D compensation
+    for possible underestimation by the probabilistic scheme.
+    """
+    if estimated_nnz < 0:
+        raise ValueError(f"estimated_nnz must be >= 0: {estimated_nnz}")
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1: {nprocs}")
+    if budget_bytes <= 0:
+        raise ValueError(f"budget_bytes must be positive: {budget_bytes}")
+    if safety_factor < 1.0:
+        raise ValueError(f"safety_factor must be >= 1: {safety_factor}")
+    per_process = estimated_nnz * BYTES_PER_TRIPLE / nprocs
+    effective = budget_bytes / safety_factor
+    phases = max(1, math.ceil(per_process / effective))
+    return PhasePlan(
+        phases=min(phases, max_phases),
+        estimated_nnz=estimated_nnz,
+        bytes_per_process=per_process,
+        budget_bytes=budget_bytes,
+    )

@@ -1,0 +1,42 @@
+"""Argument validation helpers shared across the package.
+
+These raise the package's own exception types with messages that name the
+offending parameter, so failures deep inside a distributed run are
+attributable without a debugger.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ShapeError
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    if not (value > 0) or (isinstance(value, float) and not math.isfinite(value)):
+        raise ValueError(f"{name} must be positive and finite, got {value!r}")
+
+
+def check_nonnegative(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is a finite number >= 0."""
+    if not (value >= 0) or (isinstance(value, float) and not math.isfinite(value)):
+        raise ValueError(f"{name} must be non-negative and finite, got {value!r}")
+
+
+def check_probability(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` lies in the closed unit interval."""
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+
+
+def check_square(name: str, shape: tuple[int, int]) -> None:
+    """Raise :class:`ShapeError` unless ``shape`` is square."""
+    if shape[0] != shape[1]:
+        raise ShapeError(f"{name} must be square, got shape {shape}")
+
+
+def check_axis_index(name: str, index: int, extent: int) -> None:
+    """Raise ``IndexError`` unless ``0 <= index < extent``."""
+    if not (0 <= index < extent):
+        raise IndexError(f"{name}={index} out of range [0, {extent})")

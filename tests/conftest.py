@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcl import MclOptions
+from repro.nets import planted_network
+from repro.sparse import random_csc
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_pair():
+    """A compatible (A, B) pair of random sparse matrices."""
+    a = random_csc((60, 50), 0.12, seed=101)
+    b = random_csc((50, 45), 0.12, seed=202)
+    return a, b
+
+
+@pytest.fixture
+def square_matrix():
+    """A modest random square matrix."""
+    return random_csc((80, 80), 0.08, seed=303)
+
+
+@pytest.fixture(scope="session")
+def tiny_network():
+    """A small planted network that MCL clusters quickly and well."""
+    return planted_network(
+        240,
+        intra_degree=18.0,
+        inter_degree=1.0,
+        min_cluster=8,
+        max_cluster=30,
+        seed=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_options():
+    return MclOptions(select_number=25)

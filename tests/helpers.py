@@ -1,0 +1,60 @@
+"""Assertion helpers shared by the tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def dense_of(mat) -> np.ndarray:
+    """Dense array of any repro sparse matrix."""
+    return mat.to_dense()
+
+
+def assert_matrix_equals_dense(mat, expected, tol=1e-12):
+    """Sparse ``mat`` equals dense ``expected`` entrywise."""
+    got = mat.to_dense()
+    assert got.shape == expected.shape, f"{got.shape} != {expected.shape}"
+    if not np.allclose(got, expected, rtol=tol, atol=tol):
+        bad = np.argwhere(~np.isclose(got, expected, rtol=tol, atol=tol))
+        raise AssertionError(
+            f"matrices differ at {len(bad)} positions, first {bad[:5]}"
+        )
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """Adjusted Rand index between two labelings (no sklearn offline)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.shape == b.shape
+    n = len(a)
+    ct = np.zeros((a.max() + 1, b.max() + 1))
+    np.add.at(ct, (a, b), 1)
+
+    def comb2(x):
+        return x * (x - 1) / 2.0
+
+    sum_cells = comb2(ct).sum()
+    sum_a = comb2(ct.sum(axis=1)).sum()
+    sum_b = comb2(ct.sum(axis=0)).sum()
+    total = comb2(n)
+    expected = sum_a * sum_b / total if total else 0.0
+    max_index = (sum_a + sum_b) / 2.0
+    if max_index == expected:
+        return 1.0
+    return float((sum_cells - expected) / (max_index - expected))
+
+
+def labels_equivalent(a: np.ndarray, b: np.ndarray) -> bool:
+    """True when two labelings induce the same partition (up to renaming)."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        return False
+    seen = {}
+    for x, y in zip(a.tolist(), b.tolist()):
+        if x in seen:
+            if seen[x] != y:
+                return False
+        else:
+            seen[x] = y
+    return len(set(seen.values())) == len(seen)

@@ -1,0 +1,112 @@
+"""Tests for the benchmark record/report machinery (fast parts only)."""
+
+import pytest
+
+from repro.bench import ExperimentRecord
+from repro.bench.harness import load_network, options_for
+
+
+class TestExperimentRecord:
+    def test_render_contains_everything(self):
+        rec = ExperimentRecord(
+            exp_id="figX",
+            title="Demo",
+            headers=["a", "b"],
+            paper_claim="paper says",
+            measured_claim="we saw",
+        )
+        rec.add_row(1, 2.5)
+        rec.note("capped")
+        out = rec.render()
+        assert "[figX] Demo" in out
+        assert "paper says" in out and "we saw" in out
+        assert "capped" in out
+
+    def test_add_row_variadic(self):
+        rec = ExperimentRecord("t", "t", ["x"])
+        rec.add_row("only")
+        assert rec.rows == [["only"]]
+
+    def test_mismatched_row_fails_at_render(self):
+        rec = ExperimentRecord("t", "t", ["x", "y"])
+        rec.add_row("too", "many", "cells")
+        with pytest.raises(ValueError):
+            rec.render()
+
+
+class TestHarnessHelpers:
+    def test_network_cache_returns_same_object(self):
+        a = load_network("archaea-xs", seed=0)
+        b = load_network("archaea-xs", seed=0)
+        assert a is b
+
+    def test_options_for_overrides_iterations(self):
+        opts = options_for("archaea-xs", max_iterations=3)
+        assert opts.max_iterations == 3
+        # Defaults untouched.
+        assert options_for("archaea-xs").max_iterations == 100
+
+    def test_all_experiments_registry(self):
+        from repro.bench.harness import ALL_EXPERIMENTS
+
+        assert {
+            "fig1", "fig2", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "table2", "table3", "table4", "table5",
+        } <= set(ALL_EXPERIMENTS)
+        for fn in ALL_EXPERIMENTS.values():
+            assert callable(fn) and fn.__doc__
+
+
+class TestEngineTrace:
+    def test_trace_events_well_formed(self):
+        from repro.machine import SUMMIT_LIKE
+        from repro.mpi import ProcessGrid, VirtualComm
+        from repro.sparse import random_csc
+        from repro.summa import DistributedCSC, SummaConfig, summa_multiply
+
+        a = random_csc((80, 80), 0.1, seed=3)
+        grid = ProcessGrid.for_processes(4)
+        da = DistributedCSC.from_global(a, grid)
+        comm = VirtualComm(4, SUMMIT_LIKE)
+        res = summa_multiply(
+            da, da, comm,
+            SummaConfig(trace=True, use_gpu=True, kernel="nsparse"),
+        )
+        assert res.trace
+        kinds = {e[3] for e in res.trace}
+        assert "bcast_A" in kinds and "bcast_B" in kinds
+        assert "gpu_mult" in kinds and "h2d" in kinds and "d2h" in kinds
+        for rank, phase, stage, kind, start, end in res.trace:
+            assert 0 <= rank < 4
+            assert end >= start >= 0
+
+    def test_trace_off_by_default(self):
+        from repro.machine import SUMMIT_LIKE
+        from repro.mpi import ProcessGrid, VirtualComm
+        from repro.sparse import random_csc
+        from repro.summa import DistributedCSC, SummaConfig, summa_multiply
+
+        a = random_csc((40, 40), 0.1, seed=4)
+        da = DistributedCSC.from_global(a, ProcessGrid(2))
+        comm = VirtualComm(4, SUMMIT_LIKE)
+        res = summa_multiply(da, da, comm, SummaConfig())
+        assert res.trace == []
+
+    def test_resident_bytes_tracked(self):
+        from repro.machine import SUMMIT_LIKE
+        from repro.mpi import ProcessGrid, VirtualComm
+        from repro.sparse import random_csc
+        from repro.summa import DistributedCSC, SummaConfig, summa_multiply
+
+        a = random_csc((80, 80), 0.1, seed=5)
+        da = DistributedCSC.from_global(a, ProcessGrid(2))
+        peaks = {}
+        for phases in (1, 4):
+            comm = VirtualComm(4, SUMMIT_LIKE)
+            res = summa_multiply(
+                da, da, comm, SummaConfig(), phases=phases
+            )
+            peaks[phases] = res.max_rank_resident_bytes
+        assert peaks[1] > 0
+        # More phases → smaller transient footprint (the point of §V).
+        assert peaks[4] < peaks[1]

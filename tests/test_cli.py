@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_cluster_roundtrip(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    out_path = tmp_path / "clusters.tsv"
+    assert main(["generate", "planted:150:12", "-o", str(net_path)]) == 0
+    assert net_path.exists()
+    assert (
+        main(
+            [
+                "cluster", str(net_path), "-o", str(out_path),
+                "--select", "15",
+            ]
+        )
+        == 0
+    )
+    lines = out_path.read_text().strip().splitlines()
+    vertices = sorted(int(v) for line in lines for v in line.split("\t"))
+    assert vertices == list(range(150))  # every vertex in exactly one cluster
+
+
+def test_generate_catalog_network(tmp_path):
+    net_path = tmp_path / "arch.mtx"
+    assert main(["generate", "archaea-xs", "-o", str(net_path)]) == 0
+    from repro.sparse import read_matrix_market
+
+    mat = read_matrix_market(net_path)
+    assert mat.shape == (1600, 1600)
+
+
+def test_generate_bad_planted_spec(tmp_path):
+    assert main(["generate", "planted:nope", "-o", str(tmp_path / "x")]) == 2
+
+
+def test_cluster_distributed_mode(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    assert (
+        main(
+            [
+                "cluster", str(net_path), "--mode", "optimized",
+                "--nodes", "4", "--select", "12", "--stats",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr()
+    assert "clusters" in out.err
+    assert "simulated" in out.err
+    assert out.out.strip()  # clusters on stdout
+
+
+def test_cluster_modes_agree(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    capsys.readouterr()  # drop the generate command's output
+    labelings = {}
+    for mode in ("reference", "optimized", "original", "cpu"):
+        args = ["cluster", str(net_path), "--mode", mode, "--select", "12"]
+        if mode != "reference":
+            args += ["--nodes", "4"]
+        assert main(args) == 0
+        labels = np.empty(100, dtype=np.int64)
+        for lbl, line in enumerate(capsys.readouterr().out.splitlines()):
+            for v in line.split("\t"):
+                labels[int(v)] = lbl
+        labelings[mode] = labels
+    # Identical partitions up to floating-point prune ties (the paper's
+    # own caveat for HipMCL vs mcl): demand near-perfect agreement.
+    from helpers import adjusted_rand_index
+
+    ref = labelings["reference"]
+    for mode, labels in labelings.items():
+        assert adjusted_rand_index(ref, labels) > 0.95, mode
+
+
+def test_cluster_abc_file_with_labels(tmp_path, capsys):
+    abc = tmp_path / "net.abc"
+    abc.write_text(
+        "P1\tP2\t2.0\nP2\tP3\t3.0\nP4\tP5\t1.0\nP5\tP6\t2.5\n"
+    )
+    assert main(["cluster", str(abc), "--select", "5"]) == 0
+    out = capsys.readouterr().out
+    lines = sorted(out.strip().splitlines())
+    assert lines == ["P1\tP2\tP3", "P4\tP5\tP6"]
+
+
+def test_experiment_list(capsys):
+    assert main(["experiment", "list"]) == 0
+    out = capsys.readouterr().out
+    for exp in ("fig1", "table5", "ablation-dcsc"):
+        assert exp in out
+
+
+def test_experiment_unknown(capsys):
+    assert main(["experiment", "figure-nine"]) == 2
+
+
+def test_bad_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["fly"])

@@ -1,0 +1,76 @@
+"""Smoke tests: every example script runs end-to-end.
+
+The examples are the public face of the library; these tests execute the
+fast ones in-process (so failures break CI, not just the README).  The
+two long-running examples are exercised via their small/early paths.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str] | None = None):
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name)] + (argv or [])
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    run_example("quickstart.py")
+    out = capsys.readouterr().out
+    assert "MCL:" in out and "converged=True" in out
+
+
+def test_protein_network_io_runs(tmp_path, capsys):
+    run_example("protein_network_io.py", [str(tmp_path)])
+    out = capsys.readouterr().out
+    assert (tmp_path / "clusters.tsv").exists()
+    assert "clustered:" in out
+
+
+def test_distributed_summit_run_small(capsys):
+    run_example("distributed_summit_run.py", ["--small"])
+    out = capsys.readouterr().out
+    assert "speedup:" in out
+    assert "clusters identical: True" in out
+
+
+def test_kernel_selection_study_runs(capsys):
+    run_example("kernel_selection_study.py")
+    out = capsys.readouterr().out
+    assert "hybrid picks" in out
+
+
+def test_quality_vs_baselines_runs(capsys):
+    run_example("quality_vs_baselines.py")
+    out = capsys.readouterr().out
+    assert "label propagation" in out
+    assert "connected components" in out
+
+
+@pytest.mark.slow
+def test_memory_estimation_demo_runs(capsys):
+    run_example("memory_estimation_demo.py")
+    out = capsys.readouterr().out
+    assert "err r=3" in out
+
+
+@pytest.mark.slow
+def test_workload_characterization_runs(capsys):
+    run_example("workload_characterization.py")
+    out = capsys.readouterr().out
+    assert "metaclust50-xs" in out
+
+
+def test_summa_3d_preview_runs(capsys):
+    run_example("summa_3d_preview.py")
+    out = capsys.readouterr().out
+    assert "3-D, c=4" in out

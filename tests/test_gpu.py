@@ -1,0 +1,149 @@
+"""Tests for the simulated GPU device and multi-GPU column splitting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceMemoryError
+from repro.gpu import (
+    GPUDevice,
+    MultiGpuResult,
+    multigpu_spgemm,
+    split_columns,
+)
+from repro.machine import SUMMIT_LIKE
+from repro.sparse import random_csc
+from repro.spgemm import KernelKind
+
+
+class TestDevice:
+    def test_allocate_and_free(self):
+        dev = GPUDevice(SUMMIT_LIKE)
+        dev.allocate("a", 1000)
+        assert dev.allocated_bytes == 1000
+        dev.free("a")
+        assert dev.allocated_bytes == 0
+
+    def test_peak_tracking(self):
+        dev = GPUDevice(SUMMIT_LIKE)
+        dev.allocate("a", 1000)
+        dev.allocate("b", 500)
+        dev.free("a")
+        dev.allocate("c", 100)
+        assert dev.peak_bytes == 1500
+
+    def test_oom_raises(self):
+        dev = GPUDevice(SUMMIT_LIKE, capacity_bytes=100)
+        with pytest.raises(DeviceMemoryError):
+            dev.allocate("big", 101)
+
+    def test_oom_message_names_device(self):
+        dev = GPUDevice(SUMMIT_LIKE, index=3, capacity_bytes=10)
+        with pytest.raises(DeviceMemoryError, match="GPU 3"):
+            dev.allocate("x", 11)
+
+    def test_double_allocation_is_caller_bug(self):
+        dev = GPUDevice(SUMMIT_LIKE)
+        dev.allocate("a", 10)
+        with pytest.raises(ValueError):
+            dev.allocate("a", 10)
+
+    def test_free_unknown_tag(self):
+        with pytest.raises(ValueError):
+            GPUDevice(SUMMIT_LIKE).free("ghost")
+
+    def test_negative_allocation(self):
+        with pytest.raises(ValueError):
+            GPUDevice(SUMMIT_LIKE).allocate("n", -5)
+
+    def test_fits(self):
+        dev = GPUDevice(SUMMIT_LIKE, capacity_bytes=100)
+        assert dev.fits(100) and not dev.fits(101)
+
+    def test_free_all(self):
+        dev = GPUDevice(SUMMIT_LIKE)
+        dev.allocate("a", 10)
+        dev.allocate("b", 20)
+        dev.free_all()
+        assert dev.allocated_bytes == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            GPUDevice(SUMMIT_LIKE, capacity_bytes=0)
+
+
+class TestSplitColumns:
+    def test_covers_range(self):
+        bounds = split_columns(11, 4)
+        assert bounds[0][0] == 0 and bounds[-1][1] == 11
+        widths = [hi - lo for lo, hi in bounds]
+        assert max(widths) - min(widths) <= 1
+
+    def test_more_devices_than_columns(self):
+        bounds = split_columns(2, 4)
+        assert sum(hi - lo for lo, hi in bounds) == 2
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError):
+            split_columns(5, 0)
+
+
+class TestMultiGpu:
+    def test_result_matches_single(self, small_pair):
+        a, b = small_pair
+        expected = a.to_dense() @ b.to_dense()
+        devs = [GPUDevice(SUMMIT_LIKE, i) for i in range(4)]
+        res = multigpu_spgemm(a, b, devs, KernelKind.GPU_NSPARSE, SUMMIT_LIKE)
+        assert isinstance(res, MultiGpuResult)
+        assert np.allclose(res.matrix.to_dense(), expected)
+
+    def test_kernel_time_is_max_of_devices(self, small_pair):
+        a, b = small_pair
+        devs = [GPUDevice(SUMMIT_LIKE, i) for i in range(3)]
+        res = multigpu_spgemm(a, b, devs, KernelKind.GPU_NSPARSE, SUMMIT_LIKE)
+        assert res.kernel_time == max(res.device_times)
+        assert len(res.device_times) == 3
+
+    def test_transfers_counted(self, small_pair):
+        a, b = small_pair
+        devs = [GPUDevice(SUMMIT_LIKE, i) for i in range(2)]
+        res = multigpu_spgemm(a, b, devs, KernelKind.GPU_RMERGE2, SUMMIT_LIKE)
+        # A is replicated to every device (§III-A).
+        assert res.h2d_bytes >= 2 * a.memory_bytes()
+        assert res.d2h_bytes > 0
+
+    def test_launch_counted_per_device(self, small_pair):
+        a, b = small_pair
+        devs = [GPUDevice(SUMMIT_LIKE, i) for i in range(2)]
+        multigpu_spgemm(a, b, devs, KernelKind.GPU_BHSPARSE, SUMMIT_LIKE)
+        assert all(d.kernel_launches == 1 for d in devs)
+
+    def test_oom_propagates(self, small_pair):
+        a, b = small_pair
+        devs = [GPUDevice(SUMMIT_LIKE, 0, capacity_bytes=64)]
+        with pytest.raises(DeviceMemoryError):
+            multigpu_spgemm(a, b, devs, KernelKind.GPU_NSPARSE, SUMMIT_LIKE)
+
+    def test_oom_leaves_device_clean(self, small_pair):
+        a, b = small_pair
+        dev = GPUDevice(SUMMIT_LIKE, 0, capacity_bytes=a.memory_bytes() + 64)
+        with pytest.raises(DeviceMemoryError):
+            multigpu_spgemm(a, b, [dev], KernelKind.GPU_NSPARSE, SUMMIT_LIKE)
+        assert dev.allocated_bytes == 0
+
+    def test_cpu_kernel_rejected(self, small_pair):
+        a, b = small_pair
+        devs = [GPUDevice(SUMMIT_LIKE, 0)]
+        with pytest.raises(ValueError):
+            multigpu_spgemm(a, b, devs, KernelKind.CPU_HASH, SUMMIT_LIKE)
+
+    def test_no_devices_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(ValueError):
+            multigpu_spgemm(a, b, [], KernelKind.GPU_NSPARSE, SUMMIT_LIKE)
+
+    def test_more_devices_than_columns_still_correct(self):
+        a = random_csc((10, 8), 0.4, seed=1)
+        b = random_csc((8, 2), 0.6, seed=2)
+        devs = [GPUDevice(SUMMIT_LIKE, i) for i in range(6)]
+        res = multigpu_spgemm(a, b, devs, KernelKind.GPU_NSPARSE, SUMMIT_LIKE)
+        assert np.allclose(res.matrix.to_dense(), a.to_dense() @ b.to_dense())

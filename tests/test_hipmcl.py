@@ -1,0 +1,166 @@
+"""Tests for the distributed HipMCL driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.mcl import MclOptions, markov_cluster
+from repro.mcl.hipmcl import HipMCLConfig, HipMCLResult, hipmcl
+
+from helpers import labels_equivalent
+
+
+@pytest.fixture(scope="module")
+def net_and_opts():
+    from repro.nets import planted_network
+
+    net = planted_network(
+        220, intra_degree=16.0, inter_degree=1.0,
+        min_cluster=6, max_cluster=28, seed=9,
+    )
+    return net, MclOptions(select_number=22)
+
+
+class TestConfig:
+    def test_thread_based_process_count(self):
+        cfg = HipMCLConfig(nodes=16, threaded_node=True)
+        assert cfg.processes == 16
+        assert cfg.threads_per_process == 40
+        assert cfg.gpus_per_process == 6
+
+    def test_process_based_process_count(self):
+        cfg = HipMCLConfig(
+            nodes=16, threaded_node=False, gpus_per_node=4
+        )
+        assert cfg.processes == 64
+        # 40/4 = 10 cores, derated by the MPI-service share (spec default
+        # 0.8) to 8 usable threads per slim process.
+        assert cfg.threads_per_process == 8
+        assert cfg.gpus_per_process == 1
+
+    def test_non_square_rejected(self):
+        with pytest.raises(GridError):
+            HipMCLConfig(nodes=10)
+
+    def test_process_based_square_requirement(self):
+        with pytest.raises(GridError):
+            HipMCLConfig(nodes=16, threaded_node=False, gpus_per_node=6)
+
+    def test_bad_estimator(self):
+        with pytest.raises(ValueError):
+            HipMCLConfig(nodes=16, estimator="psychic")
+
+    def test_original_preset(self):
+        cfg = HipMCLConfig.original(nodes=16)
+        assert cfg.kernel == "heap"
+        assert cfg.merge == "multiway"
+        assert not cfg.pipelined and not cfg.use_gpu
+        assert cfg.estimator == "symbolic"
+
+    def test_optimized_preset(self):
+        cfg = HipMCLConfig.optimized(nodes=16)
+        assert cfg.kernel == "hybrid" and cfg.merge == "binary"
+        assert cfg.pipelined and cfg.use_gpu
+
+    def test_optimized_no_overlap(self):
+        cfg = HipMCLConfig.optimized(nodes=16, overlap=False)
+        assert not cfg.pipelined and cfg.merge == "multiway"
+
+
+class TestEquivalence:
+    """Distributed runs return the sequential reference's clusters."""
+
+    def test_optimized_matches_reference(self, net_and_opts):
+        net, opts = net_and_opts
+        ref = markov_cluster(net.matrix, opts)
+        res = hipmcl(net.matrix, opts, HipMCLConfig.optimized(nodes=16))
+        assert res.converged
+        assert res.iterations == ref.iterations
+        assert labels_equivalent(res.labels, ref.labels)
+
+    def test_original_matches_reference(self, net_and_opts):
+        net, opts = net_and_opts
+        ref = markov_cluster(net.matrix, opts)
+        res = hipmcl(net.matrix, opts, HipMCLConfig.original(nodes=16))
+        assert labels_equivalent(res.labels, ref.labels)
+
+    @pytest.mark.parametrize("nodes", [1, 4, 9, 25])
+    def test_grid_size_invariance(self, net_and_opts, nodes):
+        net, opts = net_and_opts
+        ref = markov_cluster(net.matrix, opts)
+        res = hipmcl(net.matrix, opts, HipMCLConfig.optimized(nodes=nodes))
+        assert labels_equivalent(res.labels, ref.labels)
+
+    def test_phased_run_matches(self, net_and_opts):
+        net, opts = net_and_opts
+        ref = markov_cluster(net.matrix, opts)
+        cfg = HipMCLConfig.optimized(nodes=16, memory_budget_bytes=4 * 1024)
+        res = hipmcl(net.matrix, opts, cfg)
+        assert max(h.phases for h in res.history) > 1  # phases exercised
+        assert labels_equivalent(res.labels, ref.labels)
+
+    def test_process_based_matches(self, net_and_opts):
+        net, opts = net_and_opts
+        ref = markov_cluster(net.matrix, opts)
+        cfg = HipMCLConfig(
+            nodes=16, threaded_node=False, gpus_per_node=4
+        )
+        res = hipmcl(net.matrix, opts, cfg)
+        assert labels_equivalent(res.labels, ref.labels)
+
+
+class TestAccounting:
+    def test_result_fields_populated(self, net_and_opts):
+        net, opts = net_and_opts
+        res = hipmcl(net.matrix, opts, HipMCLConfig.optimized(nodes=16))
+        assert isinstance(res, HipMCLResult)
+        assert res.elapsed_seconds > 0
+        assert res.bytes_communicated > 0
+        assert res.wall_seconds > 0
+        assert set(res.stage_means) == {
+            "local_spgemm", "mem_estimation", "summa_bcast",
+            "merge", "prune", "other",
+        }
+
+    def test_history_per_iteration(self, net_and_opts):
+        net, opts = net_and_opts
+        res = hipmcl(net.matrix, opts, HipMCLConfig.optimized(nodes=16))
+        assert len(res.history) == res.iterations
+        for h in res.history:
+            assert h.flops >= 0 and h.phases >= 1
+            assert h.estimator_used in ("symbolic", "probabilistic")
+
+    def test_symbolic_estimator_is_exact(self, net_and_opts):
+        net, opts = net_and_opts
+        cfg = HipMCLConfig(nodes=16, estimator="symbolic")
+        res = hipmcl(net.matrix, opts, cfg)
+        for h in res.history:
+            assert h.estimation_error_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_probabilistic_estimator_reasonable(self, net_and_opts):
+        net, opts = net_and_opts
+        cfg = HipMCLConfig(nodes=16, estimator="probabilistic",
+                           estimator_keys=10)
+        res = hipmcl(net.matrix, opts, cfg)
+        errors = [h.estimation_error_pct for h in res.history]
+        assert np.median(errors) < 60.0
+
+    def test_hybrid_estimator_switches_to_exact_late(self, net_and_opts):
+        net, opts = net_and_opts
+        cfg = HipMCLConfig(nodes=16, estimator="hybrid")
+        res = hipmcl(net.matrix, opts, cfg)
+        schemes = [h.estimator_used for h in res.history]
+        assert "probabilistic" in schemes
+        assert schemes[-1] == "symbolic"  # cf → 1 at convergence
+
+    def test_original_slower_than_optimized(self, net_and_opts):
+        net, opts = net_and_opts
+        orig = hipmcl(net.matrix, opts, HipMCLConfig.original(nodes=16))
+        opt = hipmcl(net.matrix, opts, HipMCLConfig.optimized(nodes=16))
+        assert orig.elapsed_seconds > opt.elapsed_seconds
+
+    def test_as_mcl_result(self, net_and_opts):
+        net, opts = net_and_opts
+        res = hipmcl(net.matrix, opts, HipMCLConfig.optimized(nodes=4))
+        mcl_res = res.as_mcl_result()
+        assert np.array_equal(mcl_res.labels, res.labels)

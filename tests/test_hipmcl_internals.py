@@ -1,0 +1,78 @@
+"""Unit tests for HipMCL driver internals."""
+
+import numpy as np
+
+from repro.machine import SUMMIT_LIKE
+from repro.mcl.hipmcl import (
+    STAGE_ACCOUNTS,
+    _assemble_block_column,
+    _grouped_stage_seconds,
+    _split_block_column,
+)
+from repro.mpi import ProcessGrid, VirtualComm
+from repro.sparse import random_csc
+from repro.summa import DistributedCSC
+
+
+class TestStageGrouping:
+    def test_all_buckets_present_even_when_idle(self):
+        comm = VirtualComm(2, SUMMIT_LIKE)
+        out = _grouped_stage_seconds(comm)
+        assert set(out) == set(STAGE_ACCOUNTS)
+        assert all(v == 0.0 for v in out.values())
+
+    def test_transfers_fold_into_spgemm(self):
+        comm = VirtualComm(1, SUMMIT_LIKE)
+        comm.clocks[0].cpu.schedule(0, 1.0, "local_spgemm")
+        comm.clocks[0].cpu.schedule(0, 0.5, "h2d")
+        comm.clocks[0].gpu.schedule(0, 0.25, "d2h")
+        out = _grouped_stage_seconds(comm)
+        assert out["local_spgemm"] == 1.75
+
+    def test_estimation_buckets(self):
+        comm = VirtualComm(1, SUMMIT_LIKE)
+        comm.clocks[0].cpu.schedule(0, 1.0, "mem_estimation")
+        comm.clocks[0].cpu.schedule(0, 2.0, "est_bcast")
+        out = _grouped_stage_seconds(comm)
+        assert out["mem_estimation"] == 3.0
+
+    def test_prune_buckets_include_exchange(self):
+        comm = VirtualComm(1, SUMMIT_LIKE)
+        comm.clocks[0].cpu.schedule(0, 1.0, "prune")
+        comm.clocks[0].cpu.schedule(0, 0.5, "topk_exchange")
+        assert _grouped_stage_seconds(comm)["prune"] == 1.5
+
+    def test_unknown_accounts_fold_into_other(self):
+        comm = VirtualComm(1, SUMMIT_LIKE)
+        comm.clocks[0].cpu.schedule(0, 0.7, "inflation")
+        comm.clocks[0].cpu.schedule(0, 0.3, "something_new")
+        assert _grouped_stage_seconds(comm)["other"] == 1.0
+
+
+class TestBlockColumnRoundtrip:
+    def test_assemble_split_roundtrip(self):
+        mat = random_csc((50, 50), 0.15, seed=8)
+        grid = ProcessGrid(4)
+        dist = DistributedCSC.from_global(mat, grid)
+        n = 50
+        for j in range(grid.q):
+            assembled = _assemble_block_column(dist.blocks, grid, n, j)
+            c_lo, c_hi = grid.block_bounds(n, j)
+            assert np.allclose(
+                assembled.to_dense(), mat.to_dense()[:, c_lo:c_hi]
+            )
+            back = _split_block_column(assembled, grid, n, j)
+            for i in range(grid.q):
+                assert np.allclose(
+                    back[(i, j)].to_dense(), dist.block(i, j).to_dense()
+                )
+
+    def test_assemble_empty_column_block(self):
+        from repro.sparse import CSCMatrix
+
+        grid = ProcessGrid(2)
+        blocks = {
+            (i, 0): CSCMatrix.empty((5, 4)) for i in range(2)
+        }
+        out = _assemble_block_column(blocks, grid, 10, 0)
+        assert out.nnz == 0 and out.shape == (10, 4)

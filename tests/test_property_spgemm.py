@@ -1,0 +1,95 @@
+"""Property-based tests: every SpGEMM kernel equals the dense product."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import spgemm_bhsparse, spgemm_nsparse, spgemm_rmerge2
+from repro.sparse import csc_from_triples
+from repro.spgemm import (
+    flops,
+    spgemm_esc,
+    spgemm_hash,
+    spgemm_heap,
+    spgemm_spa,
+    symbolic_nnz,
+)
+
+
+@st.composite
+def multiplication_instances(draw):
+    m = draw(st.integers(1, 14))
+    k = draw(st.integers(1, 14))
+    n = draw(st.integers(1, 14))
+
+    def mat(nrows, ncols):
+        nnz = draw(st.integers(0, nrows * ncols))
+        rows = draw(
+            st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz)
+        )
+        cols = draw(
+            st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz)
+        )
+        vals = draw(
+            st.lists(
+                st.floats(min_value=0.01, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=nnz, max_size=nnz,
+            )
+        )
+        return csc_from_triples((nrows, ncols), rows, cols, vals)
+
+    return mat(m, k), mat(k, n)
+
+
+KERNELS = [
+    spgemm_esc,
+    spgemm_heap,
+    spgemm_hash,
+    spgemm_spa,
+    spgemm_bhsparse,
+    spgemm_nsparse,
+    spgemm_rmerge2,
+]
+
+
+@given(multiplication_instances())
+@settings(max_examples=50, deadline=None)
+def test_all_kernels_match_dense(instance):
+    a, b = instance
+    expected = a.to_dense() @ b.to_dense()
+    for fn in KERNELS:
+        got = fn(a, b).to_dense()
+        assert np.allclose(got, expected, atol=1e-9), fn.__name__
+
+
+@given(multiplication_instances())
+@settings(max_examples=50, deadline=None)
+def test_symbolic_counts_product_pattern(instance):
+    a, b = instance
+    # Pattern of the dense product (positive values cannot cancel).
+    pattern_nnz = int(
+        (((a.to_dense() != 0) @ (b.to_dense() != 0)) != 0).sum()
+    )
+    assert symbolic_nnz(a, b) == pattern_nnz
+
+
+@given(multiplication_instances())
+@settings(max_examples=50, deadline=None)
+def test_flops_bounds_output(instance):
+    a, b = instance
+    f = flops(a, b)
+    c_nnz = symbolic_nnz(a, b)
+    assert c_nnz <= f  # each output entry needs at least one flop
+    assert f <= a.nnz * b.nnz + 1
+
+
+@given(multiplication_instances())
+@settings(max_examples=30, deadline=None)
+def test_kernels_agree_on_pattern_exactly(instance):
+    a, b = instance
+    ref = spgemm_esc(a, b)
+    for fn in (spgemm_heap, spgemm_hash, spgemm_nsparse, spgemm_rmerge2):
+        other = fn(a, b)
+        assert np.array_equal(other.indptr, ref.indptr), fn.__name__
+        assert np.array_equal(other.indices, ref.indices), fn.__name__

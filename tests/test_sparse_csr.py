@@ -1,0 +1,86 @@
+"""Unit tests for CSRMatrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse import CSRMatrix
+
+from helpers import assert_matrix_equals_dense
+
+
+def random_csr(shape, density, seed):
+    import scipy.sparse as sp
+
+    return CSRMatrix.from_scipy(
+        sp.random(*shape, density=density, random_state=seed)
+    )
+
+
+class TestConstruction:
+    def test_from_dense(self):
+        dense = np.array([[0.0, 1.5], [2.5, 0.0], [0.0, 0.0]])
+        mat = CSRMatrix.from_dense(dense)
+        assert mat.shape == (3, 2)
+        assert mat.nnz == 2
+        assert_matrix_equals_dense(mat, dense)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            CSRMatrix.from_dense(np.ones(4))
+
+    def test_empty(self):
+        mat = CSRMatrix.empty((3, 7))
+        assert mat.nnz == 0 and mat.nrows == 3 and mat.ncols == 7
+
+    def test_validation_catches_bad_column(self):
+        with pytest.raises(FormatError):
+            CSRMatrix((2, 3), [0, 1, 2], [0, 3], [1.0, 1.0])
+
+    def test_scipy_roundtrip(self):
+        mat = random_csr((25, 35), 0.15, 3)
+        back = CSRMatrix.from_scipy(mat.to_scipy())
+        assert mat.same_pattern_and_values(back)
+
+
+class TestOperations:
+    def test_row_view(self):
+        mat = random_csr((20, 30), 0.2, 5)
+        dense = mat.to_dense()
+        cols, vals = mat.row(4)
+        row = np.zeros(30)
+        row[cols] = vals
+        assert np.allclose(row, dense[4])
+
+    def test_row_out_of_range(self):
+        mat = CSRMatrix.empty((2, 2))
+        with pytest.raises(IndexError):
+            mat.row(2)
+
+    def test_transpose_twice_is_identity(self):
+        mat = random_csr((15, 22), 0.2, 9)
+        assert mat.same_pattern_and_values(mat.transpose().transpose())
+
+    def test_transpose_matches_dense(self):
+        mat = random_csr((15, 22), 0.2, 11)
+        assert np.allclose(mat.transpose().to_dense(), mat.to_dense().T)
+
+    def test_sum_duplicates_and_prune(self):
+        mat = CSRMatrix((2, 4), [0, 3, 4], [1, 1, 2, 0], [1.0, -1.0, 5.0, 2.0])
+        out = mat.sum_duplicates().pruned_zeros()
+        assert out.nnz == 2  # the (0,1) pair cancels exactly
+        dense = out.to_dense()
+        assert dense[0, 2] == 5.0 and dense[1, 0] == 2.0
+
+    def test_row_lengths(self):
+        mat = random_csr((10, 10), 0.3, 13)
+        assert np.array_equal(
+            mat.row_lengths(), (mat.to_dense() != 0).sum(axis=1)
+        )
+
+    def test_sorted_after_shuffle(self):
+        mat = CSRMatrix((1, 5), [0, 3], [4, 0, 2], [4.0, 0.5, 2.0])
+        assert not mat.has_sorted_indices()
+        srt = mat.sorted()
+        assert srt.has_sorted_indices()
+        assert np.allclose(srt.to_dense(), mat.to_dense())

@@ -1,0 +1,95 @@
+"""Tests for the flops/cf-based hybrid kernel selector (paper §III)."""
+
+import pytest
+
+from repro.machine import SUMMIT_LIKE
+from repro.spgemm import (
+    KernelKind,
+    SelectionPolicy,
+    WorkProfile,
+    run_kernel,
+    select_kernel,
+)
+
+
+def profile(flops, cf):
+    return WorkProfile(
+        flops=flops,
+        nnz_a=100,
+        nnz_b=100,
+        nnz_c=max(1, int(flops / cf)),
+        cf=cf,
+        max_column_flops=flops,
+        mean_column_flops=flops,
+    )
+
+
+POLICY = SelectionPolicy(
+    gpu_min_flops=1e5, gpu_cf_nsparse_min=4.0, cpu_cf_hash_min=2.0
+)
+
+
+class TestSelection:
+    def test_large_flops_large_cf_goes_nsparse(self):
+        assert (
+            select_kernel(profile(10**7, 30.0), policy=POLICY)
+            is KernelKind.GPU_NSPARSE
+        )
+
+    def test_large_flops_small_cf_goes_rmerge2(self):
+        assert (
+            select_kernel(profile(10**7, 1.2), policy=POLICY)
+            is KernelKind.GPU_RMERGE2
+        )
+
+    def test_small_flops_stays_on_cpu(self):
+        kind = select_kernel(profile(10**3, 30.0), policy=POLICY)
+        assert not kind.on_gpu
+
+    def test_cpu_large_cf_hash(self):
+        assert (
+            select_kernel(profile(10**3, 10.0), policy=POLICY)
+            is KernelKind.CPU_HASH
+        )
+
+    def test_cpu_small_cf_heap(self):
+        assert (
+            select_kernel(profile(10**3, 1.1), policy=POLICY)
+            is KernelKind.CPU_HEAP
+        )
+
+    def test_no_gpu_forces_cpu(self):
+        kind = select_kernel(
+            profile(10**8, 50.0), gpu_available=False, policy=POLICY
+        )
+        assert kind is KernelKind.CPU_HASH
+
+    def test_threshold_boundary_inclusive(self):
+        kind = select_kernel(profile(int(1e5), 4.0), policy=POLICY)
+        assert kind is KernelKind.GPU_NSPARSE
+
+
+class TestPolicy:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            SelectionPolicy(gpu_min_flops=-1)
+        with pytest.raises(ValueError):
+            SelectionPolicy(gpu_cf_nsparse_min=0.5)
+
+    def test_machine_policy_roundtrip(self):
+        pol = SUMMIT_LIKE.selection_policy()
+        assert pol.gpu_min_flops == SUMMIT_LIKE.gpu_min_flops
+
+
+class TestRunKernel:
+    @pytest.mark.parametrize("kind", list(KernelKind))
+    def test_every_kind_runs_and_agrees(self, kind, small_pair):
+        import numpy as np
+
+        a, b = small_pair
+        expected = a.to_dense() @ b.to_dense()
+        assert np.allclose(run_kernel(kind, a, b).to_dense(), expected)
+
+    def test_on_gpu_flag(self):
+        assert KernelKind.GPU_NSPARSE.on_gpu
+        assert not KernelKind.CPU_HASH.on_gpu

@@ -1,0 +1,125 @@
+"""Tests for flops / cf metrics and the symbolic pass."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse import CSCMatrix, identity_csc, random_csc
+from repro.spgemm import (
+    compression_factor,
+    expansion_size,
+    flops,
+    flops_per_column,
+    hash_operation_count,
+    heap_operation_count,
+    spa_operation_count,
+    spgemm_esc,
+    symbolic_nnz,
+    symbolic_nnz_per_column,
+    symbolic_operation_count,
+    work_profile,
+)
+
+
+def brute_force_flops(a, b):
+    da, db = a.to_dense() != 0, b.to_dense() != 0
+    return int(sum((da[:, k].sum() * db[k, :].sum()) for k in range(a.ncols)))
+
+
+class TestFlops:
+    def test_flops_matches_brute_force(self, small_pair):
+        a, b = small_pair
+        assert flops(a, b) == brute_force_flops(a, b)
+
+    def test_flops_per_column_sums_to_total(self, small_pair):
+        a, b = small_pair
+        assert flops_per_column(a, b).sum() == flops(a, b)
+
+    def test_flops_identity(self, square_matrix):
+        ident = identity_csc(square_matrix.ncols)
+        assert flops(square_matrix, ident) == square_matrix.nnz
+
+    def test_flops_equals_expansion_size(self, small_pair):
+        a, b = small_pair
+        assert flops(a, b) == expansion_size(a, b)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            flops(random_csc((3, 4), 0.5, 1), random_csc((5, 3), 0.5, 2))
+
+
+class TestSymbolic:
+    def test_symbolic_matches_actual_product(self, small_pair):
+        a, b = small_pair
+        product = spgemm_esc(a, b)
+        assert symbolic_nnz(a, b) == product.nnz
+        per_col = symbolic_nnz_per_column(a, b)
+        assert np.array_equal(per_col, np.diff(product.indptr))
+
+    def test_symbolic_empty(self):
+        a = CSCMatrix.empty((4, 4))
+        assert symbolic_nnz(a, a) == 0
+
+    def test_symbolic_cost_is_flops(self, small_pair):
+        a, b = small_pair
+        assert symbolic_operation_count(a, b) == float(flops(a, b))
+
+
+class TestCompressionFactor:
+    def test_cf_definition(self, small_pair):
+        a, b = small_pair
+        c_nnz = symbolic_nnz(a, b)
+        assert compression_factor(a, b, c_nnz) == pytest.approx(
+            flops(a, b) / c_nnz
+        )
+
+    def test_cf_empty_product_is_one(self):
+        a = CSCMatrix.empty((4, 4))
+        assert compression_factor(a, a, 0) == 1.0
+
+    def test_cf_negative_nnz_rejected(self, small_pair):
+        a, b = small_pair
+        with pytest.raises(ValueError):
+            compression_factor(a, b, -1)
+
+    def test_cf_at_least_one_for_real_products(self, square_matrix):
+        # Every output nonzero requires at least one flop.
+        c_nnz = symbolic_nnz(square_matrix, square_matrix)
+        if c_nnz:
+            assert (
+                compression_factor(square_matrix, square_matrix, c_nnz) >= 1.0
+            )
+
+
+class TestWorkProfile:
+    def test_profile_fields(self, small_pair):
+        a, b = small_pair
+        c_nnz = symbolic_nnz(a, b)
+        p = work_profile(a, b, c_nnz)
+        assert p.flops == flops(a, b)
+        assert p.nnz_c == c_nnz
+        assert p.max_column_flops == flops_per_column(a, b).max()
+        assert not p.is_empty
+
+    def test_empty_profile(self):
+        a = CSCMatrix.empty((3, 3))
+        assert work_profile(a, a, 0).is_empty
+
+
+class TestOperationCounts:
+    def test_heap_count_carries_log_factor(self, small_pair):
+        a, b = small_pair
+        f = flops(a, b)
+        assert heap_operation_count(a, b) >= f  # lg k >= 1 for k >= 2
+
+    def test_hash_count_bounds(self, small_pair):
+        a, b = small_pair
+        f = flops(a, b)
+        c_nnz = symbolic_nnz(a, b)
+        ops = hash_operation_count(a, b, c_nnz)
+        # One probe per flop plus the final sort term, bounded by nnz·64.
+        assert f <= ops <= f + 64 * c_nnz
+
+    def test_spa_count_includes_column_scan(self, small_pair):
+        a, b = small_pair
+        assert spa_operation_count(a, b, 0) >= b.ncols

@@ -1,0 +1,121 @@
+"""Tests for the split-3-D engine (§VII-E's future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.machine import SUMMIT_LIKE
+from repro.mpi import VirtualComm
+from repro.sparse import random_csc
+from repro.summa import SummaConfig
+from repro.summa.engine3d import Summa3DResult, summa3d_multiply
+
+
+@pytest.fixture
+def operands():
+    a = random_csc((150, 150), 0.06, seed=41)
+    b = random_csc((150, 150), 0.06, seed=42)
+    return a, b, a.to_dense() @ b.to_dense()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("layers,procs", [(1, 16), (2, 32), (4, 64),
+                                              (4, 16)])
+    def test_matches_dense(self, operands, layers, procs):
+        a, b, expected = operands
+        comm = VirtualComm(procs, SUMMIT_LIKE)
+        res = summa3d_multiply(a, b, comm, SummaConfig(), layers)
+        assert isinstance(res, Summa3DResult)
+        assert np.allclose(res.matrix.to_dense(), expected, atol=1e-9)
+
+    def test_single_layer_equals_2d(self, operands):
+        a, b, expected = operands
+        comm = VirtualComm(16, SUMMIT_LIKE)
+        res = summa3d_multiply(a, b, comm, SummaConfig(), layers=1)
+        assert np.allclose(res.matrix.to_dense(), expected, atol=1e-9)
+        assert res.redistribution_seconds == 0.0
+
+    def test_rectangular(self):
+        a = random_csc((60, 90), 0.1, seed=43)
+        b = random_csc((90, 40), 0.1, seed=44)
+        comm = VirtualComm(18, SUMMIT_LIKE)  # 2 layers of 3x3
+        res = summa3d_multiply(a, b, comm, SummaConfig(), layers=2)
+        assert np.allclose(
+            res.matrix.to_dense(), a.to_dense() @ b.to_dense(), atol=1e-9
+        )
+
+    def test_empty_product(self):
+        from repro.sparse import CSCMatrix
+
+        a = CSCMatrix.empty((20, 20))
+        comm = VirtualComm(8, SUMMIT_LIKE)
+        res = summa3d_multiply(a, a, comm, SummaConfig(), layers=2)
+        assert res.matrix.nnz == 0
+
+
+class TestValidation:
+    def test_bad_layer_split(self, operands):
+        a, b, _ = operands
+        comm = VirtualComm(16, SUMMIT_LIKE)
+        with pytest.raises(GridError):
+            summa3d_multiply(a, b, comm, SummaConfig(), layers=3)
+
+    def test_non_square_layer(self, operands):
+        a, b, _ = operands
+        comm = VirtualComm(24, SUMMIT_LIKE)  # 2 layers of 12: not square
+        with pytest.raises(GridError):
+            summa3d_multiply(a, b, comm, SummaConfig(), layers=2)
+
+    def test_shape_mismatch(self):
+        a = random_csc((5, 6), 0.5, seed=1)
+        b = random_csc((5, 6), 0.5, seed=2)
+        comm = VirtualComm(4, SUMMIT_LIKE)
+        with pytest.raises(GridError):
+            summa3d_multiply(a, b, comm, SummaConfig(), layers=1)
+
+    def test_zero_layers(self, operands):
+        a, b, _ = operands
+        comm = VirtualComm(16, SUMMIT_LIKE)
+        with pytest.raises(GridError):
+            summa3d_multiply(a, b, comm, SummaConfig(), layers=0)
+
+
+class TestAccountingClaims:
+    def test_redistribution_charged(self, operands):
+        a, b, _ = operands
+        comm = VirtualComm(64, SUMMIT_LIKE)
+        res = summa3d_multiply(a, b, comm, SummaConfig(), layers=4)
+        assert res.redistribution_seconds > 0
+        comm2 = VirtualComm(64, SUMMIT_LIKE)
+        res2 = summa3d_multiply(
+            a, b, comm2, SummaConfig(), layers=4,
+            charge_redistribution=False,
+        )
+        assert res2.redistribution_seconds == 0.0
+
+    def test_3d_reduces_broadcast_time(self):
+        """§VII-E measured: on the same process count, 3-D spends less
+        time in SUMMA broadcasts than 2-D (fewer, smaller-group stages)."""
+        a = random_csc((240, 240), 0.05, seed=45)
+        from repro.summa import DistributedCSC, summa_multiply
+        from repro.mpi import ProcessGrid
+
+        comm2d = VirtualComm(64, SUMMIT_LIKE)
+        da = DistributedCSC.from_global(a, ProcessGrid(8))
+        summa_multiply(da, da, comm2d, SummaConfig())
+        bcast_2d = comm2d.account_means().get("summa_bcast", 0.0)
+
+        comm3d = VirtualComm(64, SUMMIT_LIKE)
+        summa3d_multiply(
+            a, a, comm3d, SummaConfig(), layers=4,
+            charge_redistribution=False,
+        )
+        bcast_3d = comm3d.account_means().get("summa_bcast", 0.0)
+        assert bcast_3d < bcast_2d
+
+    def test_kernel_selections_aggregated(self, operands):
+        a, b, _ = operands
+        comm = VirtualComm(32, SUMMIT_LIKE)
+        res = summa3d_multiply(a, b, comm, SummaConfig(), layers=2)
+        assert sum(res.kernel_selections.values()) > 0
+        assert len(res.layer_results) == 2

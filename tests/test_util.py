@@ -1,0 +1,132 @@
+"""Tests for the util subpackage."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    VirtualStopwatch,
+    as_generator,
+    check_axis_index,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+    check_square,
+    format_table,
+    spawn_streams,
+)
+
+
+class TestRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = as_generator(7).random(4)
+        b = as_generator(7).random(4)
+        assert np.array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert as_generator(g) is g
+
+    def test_spawn_streams_independent(self):
+        streams = spawn_streams(42, 3)
+        vals = [s.random() for s in streams]
+        assert len(set(vals)) == 3
+
+    def test_spawn_streams_deterministic(self):
+        a = [s.random() for s in spawn_streams(42, 2)]
+        b = [s.random() for s in spawn_streams(42, 2)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_streams(0, -1)
+
+    def test_spawn_from_generator(self):
+        streams = spawn_streams(np.random.default_rng(3), 2)
+        assert len(streams) == 2
+
+
+class TestValidate:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", float("inf"))
+
+    def test_check_nonnegative(self):
+        check_nonnegative("x", 0)
+        with pytest.raises(ValueError):
+            check_nonnegative("x", -0.1)
+
+    def test_check_probability(self):
+        check_probability("p", 0.0)
+        check_probability("p", 1.0)
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+
+    def test_check_square(self):
+        check_square("m", (3, 3))
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            check_square("m", (3, 4))
+
+    def test_check_axis_index(self):
+        check_axis_index("i", 0, 5)
+        with pytest.raises(IndexError):
+            check_axis_index("i", 5, 5)
+
+
+class TestTables:
+    def test_alignment_and_title(self):
+        out = format_table(
+            ["name", "value"], [["a", 1.0], ["bb", 22.5]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_cell_count_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[123456.0], [0.00123], [12.3456]])
+        assert "123,456" in out
+        assert "0.00123" in out
+        assert "12.3" in out
+
+
+class TestStopwatch:
+    def test_charge_accumulates(self):
+        sw = VirtualStopwatch()
+        sw.charge("a", 1.5)
+        sw.charge("a", 0.5)
+        assert sw.now == 2.0 and sw.accounts["a"] == 2.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualStopwatch().charge("a", -1)
+
+    def test_advance_to_records_idle(self):
+        sw = VirtualStopwatch()
+        sw.charge("a", 1.0)
+        sw.advance_to(3.0)
+        assert sw.now == 3.0 and sw.accounts["idle"] == 2.0
+
+    def test_advance_to_past_is_noop(self):
+        sw = VirtualStopwatch()
+        sw.charge("a", 5.0)
+        sw.advance_to(1.0)
+        assert sw.now == 5.0 and "idle" not in sw.accounts
+
+    def test_split_snapshot(self):
+        sw = VirtualStopwatch()
+        sw.charge("a", 1.0)
+        snap = sw.split()
+        sw.charge("a", 1.0)
+        assert snap["a"] == 1.0
