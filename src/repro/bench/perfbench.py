@@ -1,0 +1,240 @@
+"""Wall-clock perf-regression harness for the vectorized fast paths.
+
+Unlike :mod:`repro.bench.harness` — which reports *simulated* seconds from
+the machine model — this module times real Python wall-clock so speed
+regressions in the numeric kernels are caught in review.  It runs
+
+* end-to-end HipMCL on three catalog networks, and
+* six microbenchmarks, one per fast-path kernel family
+  (esc, hash, merge, prune, estimator, components),
+
+and emits a JSON report comparable against a committed baseline
+(``BENCH_PR<k>.json`` at the repo root).  ``tools/run_perfbench.py`` is
+the CLI; ``--check`` exits nonzero when any benchmark is more than
+``tolerance`` (default 25 %) slower than the baseline.
+
+Wall-clock on shared machines is noisy: every measurement is the best of
+``repeats`` runs after one warmup, and the comparison uses a generous
+tolerance.  Treat a failed check as a prompt to re-run and profile, not
+as a verdict by itself.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Networks timed end-to-end (small enough for CI, big enough to expose
+#: per-kernel regressions; isom100-3-xs is the densest of the three).
+BENCH_NETS = ("archaea-xs", "eukarya-xs", "isom100-3-xs")
+
+SCHEMA_VERSION = 1
+
+#: Fractional slowdown vs the baseline that counts as a regression.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _best_of(fn, repeats: int) -> float:
+    """Best wall-clock of ``repeats`` calls after one warmup."""
+    fn()  # warmup: population of caches/arenas, JIT-free but allocation-heavy
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# End-to-end runs
+# ---------------------------------------------------------------------------
+
+
+def bench_end_to_end(net_name: str, repeats: int = 1) -> dict:
+    """Time one full fast-path HipMCL run on a catalog network."""
+    from ..mcl.hipmcl import HipMCLConfig, hipmcl
+    from ..nets import catalog
+    from .harness import load_network, options_for
+
+    entry = catalog.entry(net_name)
+    net = load_network(net_name)
+    opts = options_for(net_name)
+    cfg = HipMCLConfig.optimized(
+        nodes=16, memory_budget_bytes=entry.memory_budget_bytes
+    )
+    result = {}
+
+    def run():
+        result["res"] = hipmcl(net.matrix, opts, cfg)
+
+    seconds = _best_of(run, repeats)
+    res = result["res"]
+    return {
+        "seconds": seconds,
+        "iterations": len(res.history),
+        "clusters": int(res.labels.max()) + 1 if len(res.labels) else 0,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Microbenchmarks — one per fast-path kernel family
+# ---------------------------------------------------------------------------
+
+
+def _micro_esc():
+    from ..sparse import random_csc
+    from ..spgemm.esc import spgemm_esc
+
+    a = random_csc((1600, 1600), 0.012, seed=7)
+    return lambda: spgemm_esc(a, a)
+
+
+def _micro_hash():
+    from ..sparse import random_csc
+    from ..spgemm.hashspgemm import spgemm_hash
+
+    a = random_csc((900, 900), 0.02, seed=11)
+    return lambda: spgemm_hash(a, a)
+
+
+def _micro_merge():
+    from ..merge.lists import TripleList, merge_lists
+    from ..sparse import random_csc
+
+    shape = (2500, 2500)
+    lists = [
+        TripleList.from_csc(random_csc(shape, 0.004, seed=20 + k))
+        for k in range(8)
+    ]
+    return lambda: merge_lists(list(lists))
+
+
+def _micro_prune():
+    from ..mcl.options import MclOptions
+    from ..mcl.prune import prune_columns
+    from ..sparse import random_csc
+
+    mat = random_csc((3000, 3000), 0.01, seed=13)
+    opts = MclOptions(select_number=8, prune_threshold=1e-4)
+    return lambda: prune_columns(mat, opts)
+
+
+def _micro_estimator():
+    from ..sparse import random_csc
+    from ..spgemm.estimator import estimate_nnz
+
+    a = random_csc((4000, 4000), 0.003, seed=17)
+    return lambda: estimate_nnz(a, a, keys=7, seed=3)
+
+
+def _micro_components():
+    from ..mcl.components import connected_components
+    from ..sparse import random_csc
+
+    mat = random_csc((20000, 20000), 3e-4, seed=19)
+    return lambda: connected_components(mat)
+
+
+MICROBENCHMARKS = {
+    "esc": _micro_esc,
+    "hash": _micro_hash,
+    "merge": _micro_merge,
+    "prune": _micro_prune,
+    "estimator": _micro_estimator,
+    "components": _micro_components,
+}
+
+
+def bench_micro(name: str, repeats: int = 3) -> dict:
+    fn = MICROBENCHMARKS[name]()
+    return {"seconds": _best_of(fn, repeats)}
+
+
+# ---------------------------------------------------------------------------
+# Report
+# ---------------------------------------------------------------------------
+
+
+def run_perfbench(
+    repeats: int = 3, nets=BENCH_NETS, log=None
+) -> dict:
+    """Run every benchmark; returns the JSON-serializable report."""
+    from ..perf import dispatch
+
+    report = {
+        "schema": SCHEMA_VERSION,
+        "fast_paths": dispatch.enabled(),
+        "numpy": np.__version__,
+        "python": platform.python_version(),
+        "end_to_end": {},
+        "micro": {},
+    }
+    for net in nets:
+        report["end_to_end"][net] = bench_end_to_end(net, repeats=1)
+        if log:
+            log(f"end-to-end {net}: "
+                f"{report['end_to_end'][net]['seconds']:.3f}s")
+    for name in MICROBENCHMARKS:
+        report["micro"][name] = bench_micro(name, repeats=repeats)
+        if log:
+            log(f"micro {name}: {report['micro'][name]['seconds'] * 1e3:.1f}ms")
+    return report
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One benchmark's current-vs-baseline outcome."""
+
+    name: str
+    baseline: float
+    current: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline > 0 else np.inf
+
+    def regressed(self, tolerance: float) -> bool:
+        return self.ratio > 1.0 + tolerance
+
+
+def _flatten(report: dict) -> dict:
+    out = {}
+    for net, row in report.get("end_to_end", {}).items():
+        out[f"end_to_end/{net}"] = float(row["seconds"])
+    for name, row in report.get("micro", {}).items():
+        out[f"micro/{name}"] = float(row["seconds"])
+    return out
+
+
+def compare_reports(current: dict, baseline: dict) -> list[Comparison]:
+    """Pair up benchmarks present in both reports (baseline order)."""
+    cur = _flatten(current)
+    base = _flatten(baseline)
+    return [
+        Comparison(name, base[name], cur[name])
+        for name in base
+        if name in cur
+    ]
+
+
+def regressions(
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> list[Comparison]:
+    return [
+        c for c in compare_reports(current, baseline) if c.regressed(tolerance)
+    ]
+
+
+def save_report(report: dict, path) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)

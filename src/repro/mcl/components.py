@@ -1,18 +1,37 @@
 """Connected components of the converged matrix → cluster labels.
 
 MCL's output interpretation (Algorithm 1, line 6): the clusters are the
-connected components of the graph underlying the converged matrix.  A
-from-scratch union-find with path halving and union by size; edges are
-consumed as the (row, col) coordinate arrays of the matrix, so no graph
-object is ever materialized.
+connected components of the graph underlying the converged matrix.  The
+default numeric path is a fully vectorized min-label propagation
+(:mod:`repro.perf.components`); the from-scratch union-find (path
+halving, union by size) remains as the reference implementation and as
+the incremental structure the attractor-based interpretation needs on its
+small per-cluster edge sets.  Both canonicalize labels the same way —
+components numbered by their smallest member — so the two paths agree
+bit-for-bit.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..perf import dispatch
+from ..perf.components import min_label_components
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
+
+
+def canonical_labels(raw: np.ndarray) -> np.ndarray:
+    """Relabel per-vertex component ids to 0..k-1 in first-occurrence order.
+
+    First-occurrence order equals smallest-member order, which depends
+    only on the partition — not on which representative (union-find root
+    or propagated minimum) an implementation happened to produce.
+    """
+    _, first, inverse = np.unique(raw, return_index=True, return_inverse=True)
+    rank = np.empty(len(first), dtype=np.int64)
+    rank[np.argsort(first, kind="stable")] = np.arange(len(first))
+    return rank[inverse]
 
 
 class UnionFind:
@@ -43,13 +62,12 @@ class UnionFind:
         return True
 
     def labels(self) -> np.ndarray:
-        """Canonical 0..k-1 labels, stable in root order."""
+        """Canonical 0..k-1 labels, components numbered by smallest member."""
         n = len(self.parent)
         roots = np.fromiter(
             (self.find(i) for i in range(n)), dtype=np.int64, count=n
         )
-        _, labels = np.unique(roots, return_inverse=True)
-        return labels
+        return canonical_labels(roots)
 
 
 def connected_components(mat: CSCMatrix) -> np.ndarray:
@@ -60,9 +78,11 @@ def connected_components(mat: CSCMatrix) -> np.ndarray:
     """
     if mat.nrows != mat.ncols:
         raise ValueError(f"components need a square matrix, got {mat.shape}")
+    if dispatch.enabled():
+        return canonical_labels(min_label_components(mat))
     uf = UnionFind(mat.nrows)
     cols = _c.expand_major(mat.indptr, mat.ncols)
-    for r, c in zip(mat.indices.tolist(), cols.tolist()):
+    for r, c in zip(mat.indices, cols):
         if r != c:
             uf.union(r, c)
     return uf.labels()

@@ -19,6 +19,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..perf import dispatch
+from ..perf.topk import column_kth_largest
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
 from .options import MclOptions
@@ -50,6 +52,29 @@ def local_topk_candidates(
     return sorted_cols[keep], block.data[order][keep]
 
 
+def _topk_threshold_fast(
+    blocks: list[CSCMatrix], k: int, ncols: int
+) -> np.ndarray | None:
+    """Partition-based thresholds, bit-identical to the candidate protocol.
+
+    The global k-th largest of the per-rank candidate union equals the
+    k-th largest of the full column (the global top-k is a subset of every
+    rank's local top-k), and a column has >= k candidates iff it has >= k
+    entries — so the thresholds can be computed directly from the blocks'
+    values with one padded ``np.partition``, no candidate sort needed.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    parts_c = [_c.expand_major(b.indptr, b.ncols) for b in blocks if b.nnz]
+    parts_v = [b.data for b in blocks if b.nnz]
+    if not parts_c:
+        return np.full(ncols, -np.inf)
+    cols = np.concatenate(parts_c)
+    vals = np.concatenate(parts_v)
+    order = np.argsort(cols, kind="stable")
+    return column_kth_largest(cols[order], vals[order], ncols, k)
+
+
 def distributed_topk_threshold(
     blocks: list[CSCMatrix], k: int
 ) -> np.ndarray:
@@ -61,12 +86,17 @@ def distributed_topk_threshold(
     if not blocks:
         raise ValueError("need at least one block")
     ncols = blocks[0].ncols
-    all_cols, all_vals = [], []
     for blk in blocks:
         if blk.ncols != ncols:
             raise ValueError(
                 f"block widths differ: {blk.ncols} vs {ncols}"
             )
+    if dispatch.enabled():
+        fast = _topk_threshold_fast(blocks, k, ncols)
+        if fast is not None:
+            return fast
+    all_cols, all_vals = [], []
+    for blk in blocks:
         cols, vals = local_topk_candidates(blk, k)
         all_cols.append(cols)
         all_vals.append(vals)
@@ -114,9 +144,14 @@ def filter_block_by_threshold(
     bound = np.maximum(thresholds[cols], cutoff)
     keep = block.data >= bound
     out_cols = cols[keep]
+    indptr = (
+        _c.compress_sorted_major(out_cols, block.ncols)
+        if dispatch.enabled()
+        else _c.compress_major(out_cols, block.ncols)
+    )
     return CSCMatrix(
         block.shape,
-        _c.compress_major(out_cols, block.ncols),
+        indptr,
         block.indices[keep],
         block.data[keep],
         check=False,

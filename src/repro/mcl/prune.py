@@ -16,6 +16,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..perf import dispatch
+from ..perf.topk import topk_select_mask
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
 from .options import MclOptions
@@ -66,19 +68,25 @@ def prune_columns(
         return mat.copy(), PruneStats(0, 0, 0, 0, 0)
     cols = _c.expand_major(mat.indptr, mat.ncols)
     vals = mat.data
-    ranks = _rank_within_column(cols, vals)
+    fast = dispatch.enabled()
 
     keep = vals >= options.prune_threshold
     cutoff_dropped = int(n_in - keep.sum())
 
     select_dropped = 0
     if options.select_number:
-        # Rank among *surviving* entries: recompute ranks on the survivors
-        # so cutoff casualties don't consume selection slots.
-        surv_rank = _rank_within_column(
-            cols[keep], vals[keep]
-        )
-        sel = surv_rank < options.select_number
+        # Rank among *surviving* entries: rank on the survivors only, so
+        # cutoff casualties don't consume selection slots.  The fast path
+        # computes the identical keep-set from each column's k-th largest
+        # survivor (partition-based, no sort).
+        sel = None
+        if fast:
+            sel = topk_select_mask(
+                cols[keep], vals[keep], mat.ncols, options.select_number
+            )
+        if sel is None:
+            surv_rank = _rank_within_column(cols[keep], vals[keep])
+            sel = surv_rank < options.select_number
         select_dropped = int((~sel).sum())
         keep_idx = np.flatnonzero(keep)
         keep = np.zeros(n_in, dtype=bool)
@@ -91,15 +99,21 @@ def prune_columns(
         survivors_per_col = np.bincount(cols[keep], minlength=mat.ncols)
         weak = survivors_per_col < options.recover_number
         if weak.any():
+            ranks = _rank_within_column(cols, vals)
             candidate = weak[cols] & (ranks < options.recover_number)
             recovered = int((candidate & ~keep).sum())
             keep |= candidate
 
     out_cols = cols[keep]
-    indptr = _c.compress_major(out_cols, mat.ncols)
+    if fast:
+        indptr = _c.compress_sorted_major(out_cols, mat.ncols)
+    else:
+        indptr = _c.compress_major(out_cols, mat.ncols)
     pruned = CSCMatrix(
         mat.shape, indptr, mat.indices[keep], vals[keep], check=False
-    ).sorted()
+    )
+    if not (fast and pruned.has_sorted_indices()):
+        pruned = pruned.sorted()
     return pruned, PruneStats(
         entries_in=n_in,
         entries_out=pruned.nnz,

@@ -15,6 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ShapeError
+from ..perf import dispatch
+from ..perf.merge import merge_triples_fast
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
 
@@ -83,9 +85,10 @@ def merge_lists(lists: list[TripleList]) -> TripleList:
     This is the *numeric engine* every merge schedule (two-way, multiway,
     binary) calls; the schedules differ in *when* they call it and on how
     many lists, which is what the operation/memory accounting captures.
-    Implemented as concatenate + lexsort + reduceat (vectorized k-way
-    merge); exact zeros produced by cancellation are kept, matching the
-    behaviour of summing in any order.
+    Implemented as concatenate + lexsort + ordered group sum (vectorized
+    k-way merge), or the dense-scatter fast path when enabled — both sum
+    colliding coordinates in concatenation order, so the results are
+    bit-identical.  Exact zeros produced by cancellation are kept.
     """
     if not lists:
         raise ValueError("merge_lists needs at least one (possibly empty) list")
@@ -99,6 +102,8 @@ def merge_lists(lists: list[TripleList]) -> TripleList:
     if len(lists) == 1:
         t = lists[0]
         return TripleList(shape, t.cols.copy(), t.rows.copy(), t.vals.copy())
+    if dispatch.enabled():
+        return TripleList(shape, *merge_triples_fast(lists, shape))
     cols = np.concatenate([t.cols for t in lists])
     rows = np.concatenate([t.rows for t in lists])
     vals = np.concatenate([t.vals for t in lists])
@@ -109,6 +114,9 @@ def merge_lists(lists: list[TripleList]) -> TripleList:
     boundary[0] = True
     boundary[1:] = (cols[1:] != cols[:-1]) | (rows[1:] != rows[:-1])
     starts = np.flatnonzero(boundary)
+    # Canonical left-to-right summation within each coordinate run — the
+    # stable lexsort keeps concatenation order inside a run, so this is
+    # exactly the accumulation order of the dense-scatter fast path.
     return TripleList(
-        shape, cols[starts], rows[starts], np.add.reduceat(vals, starts)
+        shape, cols[starts], rows[starts], _c.groupsum_ordered(vals, boundary)
     )

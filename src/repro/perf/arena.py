@@ -1,0 +1,65 @@
+"""Reusable workspace arena for the expansion-phase scratch buffers.
+
+ESC materializes O(flops) transient triples per stage; allocating those
+arrays anew for every one of the hundreds of SUMMA stages per MCL run is
+pure allocator churn.  The arena hands out grow-only named buffers that
+persist across calls: callers slice the first ``n`` elements and must not
+assume any particular content (except for :meth:`flags`, which maintains
+an all-False invariant — callers reset the entries they touched, turning
+an O(capacity) memset into an O(touched) one).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Arena:
+    """Named grow-only scratch buffers plus a cached ``arange``."""
+
+    def __init__(self):
+        self._bufs: dict[str, np.ndarray] = {}
+        self._arange = np.empty(0, dtype=np.int64)
+
+    def buffer(self, name: str, n: int, dtype) -> np.ndarray:
+        """The first ``n`` elements of the named buffer (contents arbitrary)."""
+        buf = self._bufs.get(name)
+        if buf is None or len(buf) < n or buf.dtype != np.dtype(dtype):
+            cap = max(n, 2 * len(buf) if buf is not None else 0)
+            buf = np.empty(cap, dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:n]
+
+    def flags(self, name: str, n: int) -> np.ndarray:
+        """A boolean buffer guaranteed all-False on handout.
+
+        The caller must reset every entry it set to True before the next
+        use of the same name (reset-by-index keeps this O(touched)).
+        """
+        key = f"flags:{name}"
+        buf = self._bufs.get(key)
+        if buf is None or len(buf) < n:
+            cap = max(n, 2 * len(buf) if buf is not None else 0)
+            buf = np.zeros(cap, dtype=bool)
+            self._bufs[key] = buf
+        return buf[:n]
+
+    def arange(self, n: int) -> np.ndarray:
+        """Read-only ``arange(n)`` backed by a persistent array."""
+        if len(self._arange) < n:
+            self._arange = np.arange(max(n, 2 * len(self._arange)), dtype=np.int64)
+            self._arange.setflags(write=False)
+        return self._arange[:n]
+
+    def release(self) -> None:
+        """Drop every buffer (tests / memory pressure)."""
+        self._bufs.clear()
+        self._arange = np.empty(0, dtype=np.int64)
+
+
+_GLOBAL = Arena()
+
+
+def global_arena() -> Arena:
+    """The process-wide arena the fast kernels share."""
+    return _GLOBAL

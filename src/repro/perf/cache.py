@@ -1,0 +1,31 @@
+"""Matrix-keyed memo cache.
+
+Derived quantities (per-column flops profiles, DCSC footprints, phase
+slabs) ride on the matrix instance they describe: the memo store lives in
+the matrix's ``_memo`` slot, so the cache key *is* the matrix identity and
+the entry's lifetime is the matrix's lifetime.  HipMCL squares its iterate
+— the same ``DistributedCSC`` blocks serve as both A and B across all h
+phases of a SUMMA call and across the estimation pass — so a quantity
+computed once per block is reused many times within an iteration, and any
+matrix that survives into later iterations keeps its entries.
+
+Mutation contract: :class:`~repro.sparse.csc.CSCMatrix` never mutates its
+arrays after construction.  External code that does must call
+``mat.invalidate_caches()``, which clears this store too.
+"""
+
+from __future__ import annotations
+
+
+def memo(mat, key, build):
+    """Return ``build()`` memoized under ``key`` on ``mat``'s cache slot."""
+    store = mat._memo
+    if store is None:
+        store = {}
+        mat._memo = store
+    try:
+        return store[key]
+    except KeyError:
+        value = build()
+        store[key] = value
+        return value

@@ -1,0 +1,37 @@
+"""Global fast-path switch.
+
+One boolean gates every vectorized fast path in the library.  It defaults
+to on; set ``REPRO_PERF=0`` in the environment to run the faithful slow
+paths everywhere, or flip it programmatically (the equivalence tests run
+the same pipeline under both settings and require bit-identical results).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+_enabled = os.environ.get("REPRO_PERF", "1") != "0"
+
+
+def enabled() -> bool:
+    """True when numeric work should route to the vectorized fast paths."""
+    return _enabled
+
+
+def set_fast_paths(on: bool) -> None:
+    """Globally enable/disable the fast paths."""
+    global _enabled
+    _enabled = bool(on)
+
+
+@contextmanager
+def fast_paths(on: bool = True):
+    """Temporarily force the fast paths on (or off) within a ``with`` block."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(on)
+    try:
+        yield
+    finally:
+        _enabled = prev

@@ -1,0 +1,85 @@
+"""Partition-based per-column top-k — the fast twin of the prune paths.
+
+The faithful selection ranks every entry inside its column with a global
+``lexsort((-vals, cols))`` and keeps ranks below k.  The fast path never
+sorts: it finds each column's k-th largest value with one segment-padded
+``np.partition`` call, keeps everything strictly above that threshold,
+and fills the remaining quota with threshold ties *in position order* —
+which is precisely the order the stable descending sort would have kept.
+The selected entry set (and therefore every downstream value) is
+identical; no new floating-point values are created.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Fall back to the sort-based path when padding the columns to the
+#: longest one would blow the footprint up by more than this factor.
+PAD_WASTE_FACTOR = 64
+PAD_CELL_LIMIT = 1 << 24
+
+
+def column_kth_largest(
+    cols: np.ndarray, vals: np.ndarray, ncols: int, k: int
+) -> np.ndarray | None:
+    """Per-column k-th largest value; ``-inf`` where the column has < k
+    entries.  ``cols`` must be sorted ascending (values in any order
+    within a column).  Returns None when padding would be wasteful —
+    the caller then uses its sort-based reference path.
+    """
+    n = len(cols)
+    if n == 0:
+        return np.full(ncols, -np.inf)
+    counts = np.bincount(cols, minlength=ncols)
+    width = int(counts.max())
+    if width * ncols > max(PAD_WASTE_FACTOR * n, 1024) or \
+            width * ncols > PAD_CELL_LIMIT:
+        return None
+    thresholds = np.full(ncols, -np.inf)
+    if width < k:
+        return thresholds
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    offset = np.arange(n, dtype=np.int64) - np.repeat(starts[:-1], counts)
+    padded = np.full((ncols, width), -np.inf)
+    padded[cols, offset] = vals
+    kth = np.partition(padded, width - k, axis=1)[:, width - k]
+    full_enough = counts >= k
+    thresholds[full_enough] = kth[full_enough]
+    return thresholds
+
+
+def topk_select_mask(
+    cols: np.ndarray, vals: np.ndarray, ncols: int, k: int
+) -> np.ndarray | None:
+    """Boolean keep-mask equal to "stable descending rank within column < k".
+
+    ``cols`` must be sorted ascending with ties resolved by original
+    position (CSC entry order) — the order the stable reference sort uses.
+    Returns None when the padded partition is not worthwhile.
+    """
+    n = len(cols)
+    thresholds = column_kth_largest(cols, vals, ncols, k)
+    if thresholds is None:
+        return None
+    counts = np.bincount(cols, minlength=ncols)
+    full_enough = counts >= k
+    keep = ~full_enough[cols]  # short columns keep everything
+    if not full_enough.any():
+        return keep
+    tcol = thresholds[cols]
+    greater = vals > tcol
+    # Quota of threshold-tied entries each saturated column may still keep.
+    n_greater = np.bincount(cols[greater], minlength=ncols)
+    quota = k - n_greater
+    tie = full_enough[cols] & (vals == tcol)
+    # Rank of each tie among its column's ties, in position order: an
+    # exclusive running count minus the count at the column's start.
+    inc = np.cumsum(tie)
+    excl = inc - tie
+    starts = np.concatenate(([0], np.cumsum(counts)))[:-1]
+    base = np.append(excl, excl[-1] + tie[-1])[starts] if n else excl
+    tie_rank = excl - base[cols]
+    keep |= greater
+    keep |= tie & (tie_rank < quota[cols])
+    return keep

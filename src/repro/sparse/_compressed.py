@@ -130,6 +130,30 @@ def prune_explicit_zeros(indptr, indices, data, n_major: int):
     return out_indptr, indices[keep], data[keep]
 
 
+def groupsum_ordered(vals: np.ndarray, boundary: np.ndarray) -> np.ndarray:
+    """Sum runs of ``vals`` delimited by ``boundary`` (True starts a group).
+
+    Accumulates strictly left-to-right within each group — the library's
+    canonical summation order for duplicate coordinates.  ``np.add.reduceat``
+    is *not* used because it sums pairwise on long runs; ``np.bincount``
+    matches the naive sequential loop bit-for-bit, which is what lets the
+    dense-scatter fast paths in :mod:`repro.perf` reproduce these sums
+    exactly.
+    """
+    if len(vals) == 0:
+        return vals.copy()
+    gid = np.cumsum(boundary)
+    gid -= 1
+    return np.bincount(gid, weights=vals, minlength=int(gid[-1]) + 1)
+
+
+def compress_sorted_major(major: np.ndarray, n_major: int) -> np.ndarray:
+    """Like :func:`compress_major` but via binary search — requires the
+    major indices to be sorted ascending (true for every kernel output)."""
+    bounds = np.arange(n_major + 1, dtype=INDEX_DTYPE)
+    return np.searchsorted(major, bounds, side="left").astype(INDEX_DTYPE)
+
+
 def major_lengths(indptr) -> np.ndarray:
     """Number of stored entries in each major slice."""
     return np.diff(indptr)

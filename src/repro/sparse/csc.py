@@ -24,7 +24,7 @@ class CSCMatrix:
     holds row ids.
     """
 
-    __slots__ = ("shape", "indptr", "indices", "data")
+    __slots__ = ("shape", "indptr", "indices", "data", "_lens", "_memo")
 
     def __init__(self, shape, indptr, indices, data, *, check: bool = True):
         nrows, ncols = int(shape[0]), int(shape[1])
@@ -34,6 +34,8 @@ class CSCMatrix:
         self.indptr, self.indices, self.data = _c.normalize_arrays(
             indptr, indices, data
         )
+        self._lens = None
+        self._memo = None
         if check:
             _c.validate(self.indptr, self.indices, self.data, ncols, nrows)
 
@@ -84,8 +86,24 @@ class CSCMatrix:
         return self.shape[1]
 
     def column_lengths(self) -> np.ndarray:
-        """Stored entries per column (length ``ncols``)."""
-        return _c.major_lengths(self.indptr)
+        """Stored entries per column (length ``ncols``).
+
+        Cached on the instance (returned read-only): the engine asks for
+        the same block's lengths once per SUMMA phase and the metrics /
+        kernel-count helpers ask again per stage.  The class never mutates
+        its arrays after construction; code that mutates them in place
+        (tests, external surgery) must call :meth:`invalidate_caches`.
+        """
+        if self._lens is None:
+            lens = _c.major_lengths(self.indptr)
+            lens.setflags(write=False)
+            self._lens = lens
+        return self._lens
+
+    def invalidate_caches(self) -> None:
+        """Drop the derived-quantity caches (see the contract above)."""
+        self._lens = None
+        self._memo = None
 
     def has_sorted_indices(self) -> bool:
         """True if every column's row indices are strictly increasing."""
@@ -185,7 +203,7 @@ class CSCMatrix:
     def column_sums(self) -> np.ndarray:
         """Sum of stored values in each column, length ``ncols``."""
         sums = np.zeros(self.ncols, dtype=_c.VALUE_DTYPE)
-        lens = np.diff(self.indptr)
+        lens = self.column_lengths()
         nonempty = np.flatnonzero(lens)
         if len(nonempty):
             starts = self.indptr[nonempty]
@@ -199,7 +217,7 @@ class CSCMatrix:
             raise ShapeError(
                 f"factors must have shape ({self.ncols},), got {factors.shape}"
             )
-        per_entry = np.repeat(factors, np.diff(self.indptr))
+        per_entry = np.repeat(factors, self.column_lengths())
         return CSCMatrix(
             self.shape,
             self.indptr.copy(),

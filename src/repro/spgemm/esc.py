@@ -18,6 +18,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeError
+from ..perf import dispatch
+from ..perf.esc import spgemm_esc_fast
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
 
@@ -28,6 +30,8 @@ def spgemm_esc(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
     Output has sorted row indices within each column, duplicates summed,
     and no explicitly-stored zeros introduced by the expansion (exact
     cancellations are kept, matching IEEE summation of the other kernels).
+    Routes to the dense-scatter fast path (:mod:`repro.perf.esc`) when
+    fast paths are enabled — bit-identical output either way.
     """
     if a.ncols != b.nrows:
         raise ShapeError(
@@ -36,6 +40,8 @@ def spgemm_esc(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
     shape = (a.nrows, b.ncols)
     if a.nnz == 0 or b.nnz == 0:
         return CSCMatrix.empty(shape)
+    if dispatch.enabled():
+        return spgemm_esc_fast(a, b)
 
     a_col_lens = a.column_lengths()
     # Expansion: for every nonzero b_kj, replicate column k of A.
@@ -69,7 +75,9 @@ def spgemm_esc(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
     group_starts = np.flatnonzero(boundary)
     c_rows = rows[group_starts]
     c_cols = out_col[group_starts]
-    c_vals = np.add.reduceat(prod, group_starts)
+    # Canonical left-to-right summation (see groupsum_ordered): matches
+    # the dense-scatter fast path bit-for-bit.
+    c_vals = _c.groupsum_ordered(prod, boundary)
     indptr = _c.compress_major(c_cols, b.ncols)
     return CSCMatrix(shape, indptr, c_rows, c_vals, check=False)
 

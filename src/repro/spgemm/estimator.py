@@ -27,6 +27,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import EstimationError, ShapeError
+from ..perf import dispatch
+from ..perf.estimator import propagate_min_fast
 from ..sparse import CSCMatrix
 from ..util.rng import as_generator
 
@@ -35,8 +37,12 @@ def _propagate_min(keys: np.ndarray, mat: CSCMatrix) -> np.ndarray:
     """Per (replica, column) minimum of ``keys[:, row]`` over stored rows.
 
     ``keys`` has shape (r, n_in); result has shape (r, ncols) with +inf for
-    empty columns.  This is one layer hop of Cohen's propagation.
+    empty columns.  This is one layer hop of Cohen's propagation.  The
+    arena-backed fast path computes the same minima on the same draws —
+    minimum is order-insensitive, so estimates agree bit-for-bit.
     """
+    if dispatch.enabled():
+        return propagate_min_fast(keys, mat)
     r = keys.shape[0]
     out = np.full((r, mat.ncols), np.inf)
     lens = mat.column_lengths()

@@ -70,9 +70,20 @@ class DistributedCSC:
         return sum(b.nnz for b in self.blocks.values())
 
     def block_storage_bytes(self, i: int, j: int) -> int:
-        """DCSC footprint of block (i, j) — what a broadcast carries."""
+        """DCSC footprint of block (i, j) — what a broadcast carries.
+
+        Memoized on the block: the same footprint is re-read for every
+        re-broadcast of the block across the h phases of a SUMMA call and
+        again by the estimation pass.
+        """
+        from ..perf.cache import memo
+
         blk = self.blocks[(i, j)]
-        nzc = int(np.count_nonzero(np.diff(blk.indptr)))
+        return memo(blk, "dcsc_bytes", lambda: self._dcsc_bytes(blk))
+
+    @staticmethod
+    def _dcsc_bytes(blk: CSCMatrix) -> int:
+        nzc = int(np.count_nonzero(blk.column_lengths()))
         # ir + num (16 B/nnz) + jc + cp (8 B each per non-empty column).
         return 16 * blk.nnz + 16 * nzc + 8
 

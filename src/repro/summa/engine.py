@@ -289,18 +289,25 @@ def summa_multiply(
     }
 
     # Pre-slice B's blocks per phase (local column ranges align across a
-    # block column because widths are identical within it).
+    # block column because widths are identical within it).  Slabs are
+    # memoized on their source block: the merge-state setup and the stage
+    # loop ask for the same slices, and a matrix reused across SUMMA calls
+    # keeps its slices.
     def phase_slab(k: int, j: int, p: int) -> CSCMatrix:
+        from ..perf.cache import memo
+
         blk = dist_b.block(k, j)
         lo, hi = _phase_bounds(blk.ncols, phases, p)
-        return blk.column_slab(lo, hi)
+        return memo(
+            blk, ("slab", lo, hi), lambda: blk.column_slab(lo, hi)
+        )
 
     for p in range(phases):
         merge_states = {
             (i, j): _RankMergeState(
                 (
                     dist_a.block(i, 0).nrows,
-                    phase_slab(0, j, p).ncols,
+                    _phase_width(dist_b.block(0, j).ncols, phases, p),
                 ),
                 config.merge,
             )
@@ -325,7 +332,7 @@ def summa_multiply(
                     )
             for j in range(q):
                 slab = slabs[j]
-                nzc = int(np.count_nonzero(np.diff(slab.indptr)))
+                nzc = int(np.count_nonzero(slab.column_lengths()))
                 nbytes = 16 * slab.nnz + 16 * nzc + 8
                 b_bytes_col[j] = nbytes
                 members = grid.col_members(j)
@@ -474,3 +481,9 @@ def _phase_bounds(ncols: int, phases: int, p: int) -> tuple[int, int]:
     base, extra = divmod(ncols, phases)
     lo = p * base + min(p, extra)
     return lo, lo + base + (1 if p < extra else 0)
+
+
+def _phase_width(ncols: int, phases: int, p: int) -> int:
+    """Column count of phase ``p`` without materializing the slab."""
+    lo, hi = _phase_bounds(ncols, phases, p)
+    return hi - lo

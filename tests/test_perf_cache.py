@@ -1,0 +1,156 @@
+"""The perf subsystem's contracts: caches, arena, dispatch, bench compare."""
+
+import numpy as np
+import pytest
+
+from repro.bench.perfbench import (
+    Comparison,
+    compare_reports,
+    regressions,
+)
+from repro.perf import fast_paths
+from repro.perf.arena import Arena
+from repro.perf.cache import memo
+from repro.perf import dispatch
+from repro.sparse import random_csc
+
+
+# ---------------------------------------------------------------------------
+# Instance caches on CSCMatrix
+# ---------------------------------------------------------------------------
+
+
+def test_column_lengths_cached_and_read_only():
+    mat = random_csc((40, 30), 0.1, seed=1)
+    lens = mat.column_lengths()
+    assert lens is mat.column_lengths()  # same object: cached
+    assert not lens.flags.writeable
+    with pytest.raises(ValueError):
+        lens[0] = 99
+    assert np.array_equal(lens, np.diff(mat.indptr))
+
+
+def test_invalidate_caches_resets_lengths_and_memo():
+    mat = random_csc((40, 30), 0.1, seed=2)
+    lens = mat.column_lengths()
+    calls = []
+    assert memo(mat, "k", lambda: calls.append(1) or "v") == "v"
+    mat.invalidate_caches()
+    assert mat.column_lengths() is not lens
+    memo(mat, "k", lambda: calls.append(1) or "v")
+    assert len(calls) == 2  # rebuilt after invalidation
+
+
+def test_memo_builds_once_per_key():
+    mat = random_csc((20, 20), 0.1, seed=3)
+    calls = []
+
+    def build():
+        calls.append(1)
+        return {"x": 1}
+
+    first = memo(mat, ("slab", 0, 5), build)
+    again = memo(mat, ("slab", 0, 5), build)
+    other = memo(mat, ("slab", 5, 9), build)
+    assert first is again
+    assert other is not first
+    assert len(calls) == 2
+
+
+# ---------------------------------------------------------------------------
+# Workspace arena
+# ---------------------------------------------------------------------------
+
+
+def test_arena_buffers_grow_and_are_reused():
+    arena = Arena()
+    b1 = arena.buffer("w", 100, np.float64)
+    assert len(b1) == 100
+    b2 = arena.buffer("w", 50, np.float64)
+    assert b2.base is b1 or b2.base is b1.base  # view of the same storage
+    big = arena.buffer("w", 10_000, np.float64)
+    assert len(big) == 10_000
+
+
+def test_arena_reallocates_on_dtype_change():
+    arena = Arena()
+    arena.buffer("w", 10, np.float64)
+    b = arena.buffer("w", 10, np.int64)
+    assert b.dtype == np.int64
+    assert len(b) == 10
+
+
+def test_arena_flags_all_false_invariant():
+    arena = Arena()
+    flags = arena.flags("f", 64)
+    assert not flags.any()
+    flags[[3, 9]] = True
+    flags[[3, 9]] = False  # caller restores, as the kernels do
+    again = arena.flags("f", 32)
+    assert not again.any()
+
+
+def test_arena_arange_read_only():
+    arena = Arena()
+    idx = arena.arange(16)
+    assert np.array_equal(idx, np.arange(16))
+    with pytest.raises(ValueError):
+        idx[0] = 5
+    assert arena.arange(8).base is idx.base or len(arena.arange(8)) == 8
+
+
+def test_arena_release_drops_buffers():
+    arena = Arena()
+    arena.buffer("w", 10, np.float64)
+    arena.release()
+    fresh = arena.buffer("w", 10, np.float64)
+    assert len(fresh) == 10
+
+
+# ---------------------------------------------------------------------------
+# Dispatch flag
+# ---------------------------------------------------------------------------
+
+
+def test_fast_paths_context_restores_state():
+    before = dispatch.enabled()
+    with fast_paths(False):
+        assert not dispatch.enabled()
+        with fast_paths(True):
+            assert dispatch.enabled()
+        assert not dispatch.enabled()
+    assert dispatch.enabled() == before
+
+
+# ---------------------------------------------------------------------------
+# Perfbench comparison logic (no timing involved)
+# ---------------------------------------------------------------------------
+
+
+def _report(e2e, micro):
+    return {
+        "end_to_end": {k: {"seconds": v} for k, v in e2e.items()},
+        "micro": {k: {"seconds": v} for k, v in micro.items()},
+    }
+
+
+def test_compare_reports_pairs_by_name():
+    base = _report({"net": 1.0}, {"esc": 0.010, "hash": 0.020})
+    cur = _report({"net": 1.1}, {"esc": 0.014, "gone": 0.5})
+    rows = {c.name: c for c in compare_reports(cur, base)}
+    assert set(rows) == {"end_to_end/net", "micro/esc"}
+    assert rows["micro/esc"].ratio == pytest.approx(1.4)
+
+
+def test_regressions_respect_tolerance():
+    base = _report({"net": 1.0}, {"esc": 0.010})
+    cur = _report({"net": 1.2}, {"esc": 0.011})
+    assert [c.name for c in regressions(cur, base, tolerance=0.25)] == []
+    bad = regressions(cur, base, tolerance=0.15)
+    assert [c.name for c in bad] == ["end_to_end/net"]
+    assert bad[0].regressed(0.15)
+
+
+def test_comparison_handles_zero_baseline():
+    c = Comparison("x", 0.0, 0.5)
+    assert c.regressed(0.25)

@@ -1,0 +1,108 @@
+#!/usr/bin/env python
+"""Run the wall-clock perf-regression harness.
+
+Record a new baseline (writes BENCH_PR<k>.json at the repo root):
+
+    PYTHONPATH=src python tools/run_perfbench.py --pr 1
+
+Gate a change against the committed baseline (exit 1 on >25 % slowdown):
+
+    PYTHONPATH=src python tools/run_perfbench.py --check
+
+See src/repro/bench/perfbench.py for what is measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.perfbench import (  # noqa: E402
+    DEFAULT_TOLERANCE,
+    compare_reports,
+    load_report,
+    regressions,
+    run_perfbench,
+    save_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--pr", type=int, default=1,
+        help="PR number k for the BENCH_PR<k>.json output name (default 1)",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="explicit output path (overrides --pr)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=ROOT / "BENCH_PR1.json",
+        help="baseline report to compare against (default BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare against the baseline and exit 1 on regression "
+        "(writes no report unless --output is given)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="fractional slowdown that counts as a regression "
+        f"(default {DEFAULT_TOLERANCE})",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="micro-benchmark repeats, best-of (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check and not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+
+    report = run_perfbench(repeats=args.repeats, log=print)
+
+    out = args.output
+    if out is None and not args.check:
+        out = ROOT / f"BENCH_PR{args.pr}.json"
+    if out is not None:
+        save_report(report, out)
+        print(f"wrote {out}")
+
+    if not args.check:
+        return 0
+
+    if not args.baseline.exists():
+        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
+        return 2
+    baseline = load_report(args.baseline)
+    rows = compare_reports(report, baseline)
+    if not rows:
+        print("error: no comparable benchmarks in baseline", file=sys.stderr)
+        return 2
+    width = max(len(r.name) for r in rows)
+    for r in rows:
+        flag = " <-- REGRESSION" if r.regressed(args.tolerance) else ""
+        print(
+            f"{r.name:<{width}}  base {r.baseline * 1e3:9.1f}ms  "
+            f"now {r.current * 1e3:9.1f}ms  x{r.ratio:5.2f}{flag}"
+        )
+    bad = regressions(report, baseline, args.tolerance)
+    if bad:
+        print(
+            f"FAIL: {len(bad)} benchmark(s) regressed more than "
+            f"{args.tolerance * 100:.0f}% vs {args.baseline.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: no regression beyond {args.tolerance * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
