@@ -20,6 +20,7 @@ The public API is re-exported here; the typical entry points are::
 __version__ = "1.0.0"
 
 from .errors import (
+    CheckpointError,
     CommunicatorError,
     ConvergenceError,
     DeviceMemoryError,
@@ -27,9 +28,13 @@ from .errors import (
     FormatError,
     GridError,
     HostMemoryError,
+    InjectedFault,
+    InvariantViolation,
+    KernelLaunchError,
     ReproError,
     ShapeError,
 )
+from .resilience import FaultPlan, ResiliencePolicy
 from .sparse import CSCMatrix, CSRMatrix, DCSCMatrix
 from .mcl import (
     HipMCLConfig,
@@ -52,6 +57,12 @@ __all__ = [
     "HostMemoryError",
     "ConvergenceError",
     "EstimationError",
+    "KernelLaunchError",
+    "CheckpointError",
+    "InvariantViolation",
+    "InjectedFault",
+    "FaultPlan",
+    "ResiliencePolicy",
     "CSCMatrix",
     "CSRMatrix",
     "DCSCMatrix",

@@ -238,3 +238,69 @@ def save_report(report: dict, path) -> None:
 def load_report(path) -> dict:
     with open(path) as fh:
         return json.load(fh)
+
+
+class BaselineError(ValueError):
+    """A baseline report is missing, unreadable, or structurally wrong.
+
+    The message always says how to fix it (usually: re-record the
+    baseline); the CLI prints it verbatim instead of a traceback.
+    """
+
+
+#: The fix-it hint appended to every baseline complaint.
+RERECORD_HINT = (
+    "record a fresh baseline with "
+    "`PYTHONPATH=src python tools/run_perfbench.py --pr <k>` "
+    "and point --baseline at the written BENCH_PR<k>.json"
+)
+
+
+def validate_report(report) -> list[str]:
+    """Structural problems that would break a comparison (empty = OK)."""
+    if not isinstance(report, dict):
+        return [f"top level is {type(report).__name__}, expected an object"]
+    problems = []
+    schema = report.get("schema")
+    if schema != SCHEMA_VERSION:
+        problems.append(
+            f"schema version is {schema!r}, this harness expects "
+            f"{SCHEMA_VERSION}"
+        )
+    for section in ("end_to_end", "micro"):
+        rows = report.get(section)
+        if not isinstance(rows, dict):
+            problems.append(f"missing or malformed {section!r} section")
+            continue
+        for name, row in rows.items():
+            if not (
+                isinstance(row, dict)
+                and isinstance(row.get("seconds"), (int, float))
+            ):
+                problems.append(
+                    f"{section}/{name} lacks a numeric 'seconds' field"
+                )
+    return problems
+
+
+def load_baseline(path) -> dict:
+    """Load a baseline for ``--check``; :class:`BaselineError` on any
+    missing/unreadable/schema problem, with an actionable message."""
+    try:
+        report = load_report(path)
+    except FileNotFoundError:
+        raise BaselineError(
+            f"baseline {path} not found — {RERECORD_HINT}"
+        ) from None
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise BaselineError(
+            f"baseline {path} is not readable JSON ({exc}) — {RERECORD_HINT}"
+        ) from exc
+    problems = validate_report(report)
+    if problems:
+        listing = "; ".join(problems)
+        raise BaselineError(
+            f"baseline {path} does not match the report schema "
+            f"({listing}) — {RERECORD_HINT}"
+        )
+    return report

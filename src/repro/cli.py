@@ -63,6 +63,31 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     clu.add_argument("--stats", action="store_true",
                      help="print per-iteration work statistics")
+    clu.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when the run hits --max-iterations without "
+        "converging (default: report the best-so-far clustering)",
+    )
+    clu.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="write a checkpoint after every iteration (distributed "
+        "modes only)",
+    )
+    clu.add_argument(
+        "--resume-from", metavar="CKPT",
+        help="resume a distributed run from a checkpoint file",
+    )
+    clu.add_argument(
+        "--fault-seed", type=int, metavar="SEED",
+        help="inject deterministic transient faults from this seed "
+        "(distributed modes only; recovery keeps the clustering "
+        "bit-identical)",
+    )
+    clu.add_argument(
+        "--fault-intensity", type=float, default=0.2,
+        help="fault-plan intensity in [0, 1] for --fault-seed "
+        "(default 0.2)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -117,8 +142,28 @@ def _cmd_cluster(args) -> int:
         recover_number=args.recover,
         max_iterations=args.max_iterations,
     )
+    from .errors import ConvergenceError
+
     if args.mode == "reference":
-        res = markov_cluster(matrix, options)
+        for flag, name in (
+            (args.checkpoint_dir, "--checkpoint-dir"),
+            (args.resume_from, "--resume-from"),
+            (args.fault_seed, "--fault-seed"),
+        ):
+            if flag is not None:
+                print(
+                    f"{name} requires a distributed --mode "
+                    "(optimized/original/cpu)",
+                    file=sys.stderr,
+                )
+                return 2
+        try:
+            res = markov_cluster(
+                matrix, options, raise_on_no_convergence=args.strict
+            )
+        except ConvergenceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
         extra = ""
     else:
         cfg = {
@@ -126,11 +171,41 @@ def _cmd_cluster(args) -> int:
             "original": HipMCLConfig.original,
             "cpu": HipMCLConfig.optimized_cpu,
         }[args.mode](nodes=args.nodes)
-        res = hipmcl(matrix, options, cfg)
+        faults = None
+        if args.fault_seed is not None:
+            from .resilience import FaultPlan
+
+            faults = FaultPlan.chaos(
+                args.fault_seed, intensity=args.fault_intensity
+            )
+        try:
+            res = hipmcl(
+                matrix, options, cfg,
+                strict=args.strict,
+                faults=faults,
+                resume_from=args.resume_from,
+                checkpoint_dir=args.checkpoint_dir,
+            )
+        except ConvergenceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
         extra = (
             f", {res.elapsed_seconds:.4f} simulated s on {args.nodes} "
             "virtual nodes"
         )
+        if res.faults_injected:
+            injected = sum(res.faults_injected.values())
+            extra += (
+                f"; recovered {injected} injected faults "
+                f"({res.comm_retries} collective retries, "
+                f"{res.kernel_demotions + res.gpu_fallbacks} kernel "
+                f"demotions, {res.estimator_fallbacks} estimator "
+                f"fallbacks, {res.phase_split_retries} phase splits)"
+            )
+        if res.checkpoints_written:
+            extra += f"; wrote {res.checkpoints_written} checkpoints"
+        if res.resumed_from_iteration:
+            extra += f"; resumed from iteration {res.resumed_from_iteration}"
     print(
         f"{res.n_clusters} clusters in {res.iterations} iterations "
         f"(converged={res.converged}{extra})",

@@ -37,8 +37,36 @@ class HostMemoryError(ReproError, MemoryError):
 
 
 class ConvergenceError(ReproError, RuntimeError):
-    """MCL failed to converge within the configured iteration limit."""
+    """MCL failed to converge within the configured iteration limit.
+
+    When raised by :func:`repro.mcl.hipmcl.hipmcl` under ``strict=True``,
+    the best-so-far result is attached as the ``partial`` attribute so no
+    work is lost.
+    """
+
+    partial = None
 
 
 class EstimationError(ReproError, ValueError):
     """Invalid parameters for the probabilistic memory estimator."""
+
+
+class KernelLaunchError(ReproError, RuntimeError):
+    """A (simulated) GPU kernel launch failed."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint file is missing, corrupt, or belongs to another run."""
+
+
+class InvariantViolation(ReproError, AssertionError):
+    """A runtime invariant validator found a broken pipeline invariant."""
+
+
+class InjectedFault:
+    """Mixin marking an exception as raised by the fault injector.
+
+    Recovery code distinguishes injected transients (charge the wasted
+    attempt, then retry or degrade) from genuine logic errors (propagate):
+    ``isinstance(exc, InjectedFault)``.
+    """

@@ -18,7 +18,14 @@ from ..machine.spec import MachineSpec
 
 @dataclass
 class GPUDevice:
-    """One virtual accelerator: a memory pool plus utilization counters."""
+    """One virtual accelerator: a memory pool plus utilization counters.
+
+    When ``injector`` (a :class:`repro.resilience.faults.FaultInjector`)
+    is attached, allocations and kernel launches can fail transiently
+    with the ``Injected*`` exception flavors; the SUMMA engine recovers
+    by demoting along the kernel ladder (GPU → CPU).  Injected faults
+    never corrupt the pool — a faulted allocation reserves nothing.
+    """
 
     spec: MachineSpec
     index: int = 0
@@ -26,6 +33,7 @@ class GPUDevice:
     _allocated: dict[str, int] = field(default_factory=dict)
     peak_bytes: int = 0
     kernel_launches: int = 0
+    injector: object | None = None
 
     def __post_init__(self):
         if self.capacity_bytes is None:
@@ -53,6 +61,13 @@ class GPUDevice:
             raise ValueError(f"negative allocation: {nbytes}")
         if tag in self._allocated:
             raise ValueError(f"allocation tag {tag!r} already live")
+        if self.injector is not None and self.injector.gpu_alloc_fault():
+            from ..resilience.faults import InjectedDeviceMemoryError
+
+            raise InjectedDeviceMemoryError(
+                f"GPU {self.index}: injected transient fault allocating "
+                f"{nbytes} B under {tag!r}"
+            )
         if nbytes > self.free_bytes:
             raise DeviceMemoryError(
                 f"GPU {self.index}: allocating {nbytes} B under {tag!r} "
@@ -78,4 +93,10 @@ class GPUDevice:
         return nbytes <= self.free_bytes
 
     def count_launch(self) -> None:
+        if self.injector is not None and self.injector.gpu_launch_fault():
+            from ..resilience.faults import InjectedKernelLaunchError
+
+            raise InjectedKernelLaunchError(
+                f"GPU {self.index}: injected transient kernel launch fault"
+            )
         self.kernel_launches += 1

@@ -26,10 +26,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import GridError
+from ..errors import ConvergenceError, EstimationError, GridError, InjectedFault
 from ..machine.spec import SUMMIT_LIKE, MachineSpec
 from ..mpi.comm import VirtualComm
 from ..mpi.grid import ProcessGrid, is_perfect_square
+from ..resilience.faults import as_injector
+from ..resilience.policy import ResiliencePolicy
+from ..resilience.validators import InvariantChecker
 from ..sparse import CSCMatrix, csc_from_triples
 from ..sparse import _compressed as _c
 from ..spgemm.estimator import estimate_nnz
@@ -84,6 +87,11 @@ class HipMCLConfig:
     memory_budget_bytes: int = 8 * 2**20
     seed: int = 0
     run_real_kernels: bool = False
+    #: Recovery behavior (retry ladders, degradation, validators); ``None``
+    #: runs without any recovery armed — exactly the pre-resilience
+    #: driver.  Passing ``faults=`` to :func:`hipmcl` without a policy
+    #: arms the default :class:`~repro.resilience.policy.ResiliencePolicy`.
+    resilience: ResiliencePolicy | None = None
 
     def __post_init__(self):
         if self.estimator not in (
@@ -252,6 +260,26 @@ class HipMCLResult:
     #: Iterations whose actual footprint exceeded the configured budget
     #: (§VII-D: underestimation "can lead processes to go out of memory").
     budget_violations: int = 0
+    # -- resilience accounting (all zero without faults/policy) ----------
+    #: Failed-and-retried collective attempts, their charged seconds, and
+    #: injected straggler delays (from ``TrafficStats``).
+    comm_retries: int = 0
+    retry_seconds: float = 0.0
+    straggler_events: int = 0
+    #: Probabilistic-estimation passes that backed off to the symbolic one.
+    estimator_fallbacks: int = 0
+    #: Expansions re-run with doubled phases after a budget overrun.
+    phase_split_retries: int = 0
+    #: CPU-hash -> heap kernel demotions (GPU demotions are
+    #: ``gpu_fallbacks``).
+    kernel_demotions: int = 0
+    #: Per-site injection counts from the fault injector, if any.
+    faults_injected: dict[str, int] = field(default_factory=dict)
+    #: Messages from the runtime invariant validators (empty when off/clean).
+    invariant_violations: list[str] = field(default_factory=list)
+    #: 0 for a fresh run; the checkpoint's iteration when resumed.
+    resumed_from_iteration: int = 0
+    checkpoints_written: int = 0
 
     def as_mcl_result(self) -> MclResult:
         return MclResult(
@@ -420,19 +448,73 @@ def hipmcl(
     matrix: CSCMatrix,
     options: MclOptions | None = None,
     config: HipMCLConfig | None = None,
+    *,
+    strict: bool = False,
+    faults=None,
+    resume_from=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 1,
 ) -> HipMCLResult:
-    """Run distributed MCL on the simulated machine and cluster ``matrix``."""
+    """Run distributed MCL on the simulated machine and cluster ``matrix``.
+
+    Parameters
+    ----------
+    strict:
+        When the run exhausts ``options.max_iterations`` without
+        converging, raise :class:`~repro.errors.ConvergenceError` (with
+        the best-so-far result attached as ``.partial``) instead of
+        returning it with ``converged=False``.
+    faults:
+        A :class:`~repro.resilience.faults.FaultPlan` or
+        :class:`~repro.resilience.faults.FaultInjector` to inject
+        transient faults into the simulated stack.  Arms the default
+        :class:`~repro.resilience.policy.ResiliencePolicy` unless
+        ``config.resilience`` sets one explicitly.  Recovered faults
+        change only the simulated time accounting, never the clustering.
+    resume_from:
+        Path to a checkpoint written by a previous run with the *same*
+        config and options (fingerprint-checked); the run continues from
+        the iteration after the checkpoint and reaches the identical
+        final result.
+    checkpoint_dir / checkpoint_every:
+        Write a checksum-validated checkpoint every ``checkpoint_every``
+        completed (non-final) iterations into ``checkpoint_dir``.
+    """
     wall_start = _time.perf_counter()
     options = options or MclOptions()
     config = config or HipMCLConfig()
+    if checkpoint_every < 1:
+        raise ValueError(
+            f"checkpoint_every must be >= 1, got {checkpoint_every}"
+        )
     spec = config.spec
     grid = ProcessGrid.for_processes(config.processes)
-    comm = VirtualComm(grid.size, spec)
+    injector = as_injector(faults)
+    policy = config.resilience
+    if policy is None and injector is not None:
+        policy = ResiliencePolicy()
+    checker = (
+        InvariantChecker(mode=policy.validate)
+        if policy is not None and policy.validate != "off"
+        else None
+    )
+    comm = VirtualComm(
+        grid.size,
+        spec,
+        injector=injector,
+        retry=policy.retry if policy is not None else None,
+    )
     summa_cfg = config.summa_config()
     threads = config.threads_per_process
+    # The degradation ladder is the only recovery for kernel-site faults,
+    # so disarming it (policy.degrade_kernels=False) disables those
+    # injection sites rather than crashing mid-expansion.
+    summa_injector = (
+        injector
+        if policy is None or policy.degrade_kernels
+        else None
+    )
 
-    work = prepare_matrix(matrix, options)
-    n = work.nrows
     history: list[HipMCLIteration] = []
     converged = False
     kernel_selections: dict[str, int] = {}
@@ -442,9 +524,48 @@ def hipmcl(
     expansion_gpu_idle = 0.0
     peak_rank_resident_bytes = 0
     budget_violations = 0
+    estimator_fallbacks = 0
+    phase_split_retries = 0
+    kernel_demotions = 0
+    checkpoints_written = 0
+    resumed_from_iteration = 0
+    elapsed_offset = 0.0
+    start_iteration = 1
     prev_cf = math.inf  # first iteration: assume large cf → probabilistic
 
-    for it in range(1, options.max_iterations + 1):
+    from ..resilience.checkpoint import (
+        MclCheckpoint,
+        checkpoint_path,
+        config_fingerprint,
+        load_checkpoint,
+        save_checkpoint,
+    )
+
+    fingerprint = config_fingerprint(config, options)
+    if resume_from is not None:
+        ckpt = load_checkpoint(resume_from, fingerprint)
+        work = ckpt.work
+        history = list(ckpt.history)
+        prev_cf = ckpt.prev_cf
+        start_iteration = ckpt.iteration + 1
+        resumed_from_iteration = ckpt.iteration
+        elapsed_offset = ckpt.elapsed_seconds
+        c = ckpt.counters
+        kernel_selections = dict(c.get("kernel_selections", {}))
+        gpu_fallbacks = int(c.get("gpu_fallbacks", 0))
+        expansion_seconds = float(c.get("expansion_seconds", 0.0))
+        expansion_cpu_idle = float(c.get("expansion_cpu_idle", 0.0))
+        expansion_gpu_idle = float(c.get("expansion_gpu_idle", 0.0))
+        peak_rank_resident_bytes = int(c.get("peak_rank_resident_bytes", 0))
+        budget_violations = int(c.get("budget_violations", 0))
+        estimator_fallbacks = int(c.get("estimator_fallbacks", 0))
+        phase_split_retries = int(c.get("phase_split_retries", 0))
+        kernel_demotions = int(c.get("kernel_demotions", 0))
+    else:
+        work = prepare_matrix(matrix, options)
+    n = work.nrows
+
+    for it in range(start_iteration, options.max_iterations + 1):
         stage_before = _grouped_stage_seconds(comm)
         dist_a = DistributedCSC.from_global(work, grid)
         total_flops = flops_of(work, work)
@@ -462,10 +583,29 @@ def hipmcl(
         if scheme == "symbolic":
             estimated = float(symbolic_nnz(work, work))
         else:
-            estimated = estimate_nnz(
-                work, work, keys=config.estimator_keys,
-                seed=config.seed + it,
-            ).total
+            try:
+                estimated = estimate_nnz(
+                    work, work, keys=config.estimator_keys,
+                    seed=config.seed + it, injector=injector,
+                ).total
+            except EstimationError as exc:
+                recover = (
+                    policy is not None
+                    and policy.estimator_fallback
+                    and isinstance(exc, InjectedFault)
+                )
+                if not recover:
+                    raise
+                # Charge the wasted probabilistic pass, then back off to
+                # the exact symbolic estimation (its cost is charged by
+                # the regular call below).
+                _charge_estimation(
+                    comm, grid, dist_a, config, scheme, total_flops,
+                    work.nnz,
+                )
+                estimator_fallbacks += 1
+                scheme = "symbolic"
+                estimated = float(symbolic_nnz(work, work))
         _charge_estimation(
             comm, grid, dist_a, config, scheme, total_flops, work.nnz
         )
@@ -544,14 +684,53 @@ def hipmcl(
         busy_before = [
             (c.cpu.busy_total(), c.gpu.busy_total()) for c in comm.clocks
         ]
-        summa_res = summa_multiply(
-            dist_a,
-            dist_a,
-            comm,
-            summa_cfg,
-            phases=plan.phases,
-            phase_callback=prune_callback,
-        )
+        attempt_phases = plan.phases
+        splits = 0
+        while True:
+            # Each attempt recomputes the full expansion; a retried
+            # attempt's charged time stays on the clocks (the rerun is
+            # real simulated work), but its prune totals are discarded.
+            prune_totals["in"] = 0
+            prune_totals["out"] = 0
+            summa_res = summa_multiply(
+                dist_a,
+                dist_a,
+                comm,
+                summa_cfg,
+                phases=attempt_phases,
+                phase_callback=prune_callback,
+                injector=summa_injector,
+            )
+            for k, v in summa_res.kernel_selections.items():
+                kernel_selections[k] = kernel_selections.get(k, 0) + v
+            gpu_fallbacks += summa_res.gpu_fallbacks
+            kernel_demotions += summa_res.kernel_demotions
+            peak_rank_resident_bytes = max(
+                peak_rank_resident_bytes, summa_res.max_rank_resident_bytes
+            )
+            overrun = (
+                summa_res.max_rank_resident_bytes
+                > config.memory_budget_bytes
+            )
+            if overrun:
+                # The §VII-D hazard: the estimator undershot (or the
+                # budget is simply unreachable within the phase cap) and
+                # a process would have exceeded its memory.
+                budget_violations += 1
+            if (
+                overrun
+                and policy is not None
+                and policy.split_phases_on_overrun
+                and splits < policy.max_phase_splits
+            ):
+                # Overrun recovery: redo the expansion with double the
+                # phases, halving each phase's transient footprint.
+                # Pruning is column-wise, so the result is bit-identical.
+                splits += 1
+                phase_split_retries += 1
+                attempt_phases = min(attempt_phases * 2, 256)
+                continue
+            break
         expansion_t1 = comm.barrier()
         span = expansion_t1 - expansion_t0
         expansion_seconds += span
@@ -560,17 +739,6 @@ def hipmcl(
         for clock, (cpu0, gpu0) in zip(comm.clocks, busy_before):
             expansion_cpu_idle += span - (clock.cpu.busy_total() - cpu0)
             expansion_gpu_idle += span - (clock.gpu.busy_total() - gpu0)
-        for k, v in summa_res.kernel_selections.items():
-            kernel_selections[k] = kernel_selections.get(k, 0) + v
-        gpu_fallbacks += summa_res.gpu_fallbacks
-        peak_rank_resident_bytes = max(
-            peak_rank_resident_bytes, summa_res.max_rank_resident_bytes
-        )
-        if summa_res.max_rank_resident_bytes > config.memory_budget_bytes:
-            # The §VII-D hazard: the estimator undershot (or the budget is
-            # simply unreachable within the phase cap) and a process would
-            # have exceeded its memory.
-            budget_violations += 1
         exact_nnz = prune_totals["in"]
 
         # ---- inflation ------------------------------------------------------
@@ -611,7 +779,7 @@ def hipmcl(
                     if exact_nnz
                     else 0.0
                 ),
-                phases=plan.phases,
+                phases=attempt_phases,
                 nnz_pruned=work.nnz,
                 cf=cf,
                 chaos=ch,
@@ -626,19 +794,51 @@ def hipmcl(
             )
         )
         prev_cf = cf
-        if ch < options.chaos_threshold:
+        converged_now = ch < options.chaos_threshold
+        if checker is not None:
+            checker.after_iteration(work, [h.chaos for h in history], it)
+        if (
+            checkpoint_dir is not None
+            and not converged_now
+            and it % checkpoint_every == 0
+        ):
+            save_checkpoint(
+                checkpoint_path(checkpoint_dir, it),
+                MclCheckpoint(
+                    iteration=it,
+                    work=work,
+                    history=history,
+                    prev_cf=prev_cf,
+                    elapsed_seconds=elapsed_offset + comm.elapsed(),
+                    counters={
+                        "kernel_selections": dict(kernel_selections),
+                        "gpu_fallbacks": gpu_fallbacks,
+                        "expansion_seconds": expansion_seconds,
+                        "expansion_cpu_idle": expansion_cpu_idle,
+                        "expansion_gpu_idle": expansion_gpu_idle,
+                        "peak_rank_resident_bytes": peak_rank_resident_bytes,
+                        "budget_violations": budget_violations,
+                        "estimator_fallbacks": estimator_fallbacks,
+                        "phase_split_retries": phase_split_retries,
+                        "kernel_demotions": kernel_demotions,
+                    },
+                    fingerprint=fingerprint,
+                ),
+            )
+            checkpoints_written += 1
+        if converged_now:
             converged = True
             break
 
     labels = connected_components(work)
     cpu_idle, gpu_idle = comm.idle_times()
     cpu_widle, gpu_widle = comm.window_idle_times()
-    return HipMCLResult(
+    result = HipMCLResult(
         labels=labels,
         n_clusters=int(labels.max()) + 1 if len(labels) else 0,
         iterations=len(history),
         converged=converged,
-        elapsed_seconds=comm.elapsed(),
+        elapsed_seconds=elapsed_offset + comm.elapsed(),
         stage_means=_grouped_stage_seconds(comm),
         cpu_idle_seconds=cpu_idle,
         gpu_idle_seconds=gpu_idle,
@@ -654,4 +854,28 @@ def hipmcl(
         expansion_gpu_idle_seconds=expansion_gpu_idle / grid.size,
         peak_rank_resident_bytes=peak_rank_resident_bytes,
         budget_violations=budget_violations,
+        comm_retries=comm.traffic.collective_retries,
+        retry_seconds=comm.traffic.retry_seconds,
+        straggler_events=comm.traffic.straggler_events,
+        estimator_fallbacks=estimator_fallbacks,
+        phase_split_retries=phase_split_retries,
+        kernel_demotions=kernel_demotions,
+        faults_injected=injector.counts() if injector is not None else {},
+        invariant_violations=(
+            list(checker.violations) if checker is not None else []
+        ),
+        resumed_from_iteration=resumed_from_iteration,
+        checkpoints_written=checkpoints_written,
     )
+    if strict and not converged:
+        err = ConvergenceError(
+            f"no convergence after {result.iterations} iterations "
+            f"(final chaos {history[-1].chaos:.3g} >= threshold "
+            f"{options.chaos_threshold:g}); best-so-far result attached "
+            "as .partial"
+            if history
+            else "no convergence: zero iterations executed"
+        )
+        err.partial = result
+        raise err
+    return result

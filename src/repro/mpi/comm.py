@@ -19,6 +19,12 @@ from ..machine.clock import RankClock
 from ..machine.spec import MachineSpec
 
 
+#: Account name under which all injected-fault recovery time is charged
+#: (failed collective attempts, backoff, straggler delays, aborted GPU
+#: staging).  Folds into the "other" stage bucket of Fig. 1 reports.
+RESILIENCE_ACCOUNT = "resilience"
+
+
 @dataclass
 class TrafficStats:
     """Volume counters, aggregated over the whole run."""
@@ -27,6 +33,12 @@ class TrafficStats:
     bytes_reduced: int = 0
     bytes_exchanged: int = 0
     collective_calls: int = 0
+    #: Failed-and-retried collective attempts and their total charged
+    #: seconds (attempt duration + backoff), plus straggler injections —
+    #: the simulated cost of comm-level resilience.
+    collective_retries: int = 0
+    retry_seconds: float = 0.0
+    straggler_events: int = 0
 
     @property
     def bytes_total(self) -> int:
@@ -34,14 +46,32 @@ class TrafficStats:
 
 
 class VirtualComm:
-    """Clocks and counters for ``P`` virtual MPI processes."""
+    """Clocks and counters for ``P`` virtual MPI processes.
 
-    def __init__(self, nprocs: int, spec: MachineSpec):
+    ``injector`` (a :class:`repro.resilience.faults.FaultInjector`) makes
+    collectives suffer transient failures and straggler delays; ``retry``
+    (a :class:`repro.resilience.policy.RetryPolicy`) governs how failed
+    attempts are retried.  Every failed attempt re-runs the collective's
+    full α-β duration plus an exponential backoff, charged to *all*
+    participants under :data:`RESILIENCE_ACCOUNT` — resilience costs
+    appear in the simulated timelines like any other work.  Without an
+    injector the communicator behaves exactly as before.
+    """
+
+    def __init__(
+        self, nprocs: int, spec: MachineSpec, *, injector=None, retry=None
+    ):
         if nprocs <= 0:
             raise CommunicatorError(f"process count must be positive: {nprocs}")
         self.spec = spec
         self.clocks = [RankClock() for _ in range(nprocs)]
         self.traffic = TrafficStats()
+        self.injector = injector
+        if injector is not None and retry is None:
+            from ..resilience.policy import RetryPolicy
+
+            retry = RetryPolicy()
+        self.retry = retry
 
     @property
     def size(self) -> int:
@@ -56,12 +86,46 @@ class VirtualComm:
                     f"rank {r} outside communicator of size {self.size}"
                 )
 
+    def _inject(self, ranks: list[int], duration: float) -> None:
+        """Apply the fault plan to the collective about to run.
+
+        A straggler delays one member before the collective can start
+        (the others then wait for it — recorded as idleness by the
+        synchronizing start).  Each transient failure charges every
+        member the collective's full duration plus the retry backoff;
+        more failures than the policy's ``max_retries`` abort the run
+        with :class:`InjectedCommFailure`.
+        """
+        from ..resilience.faults import InjectedCommFailure
+
+        straggler = self.injector.straggler(len(ranks))
+        if straggler is not None:
+            idx, delay = straggler
+            clock = self.clocks[ranks[idx]].cpu
+            clock.schedule(clock.free_at, delay, RESILIENCE_ACCOUNT)
+            self.traffic.straggler_events += 1
+        failures = self.injector.collective_failures()
+        for attempt in range(failures):
+            if attempt >= self.retry.max_retries:
+                raise InjectedCommFailure(
+                    f"collective failed {failures} times; retry policy "
+                    f"allows {self.retry.max_retries} retries"
+                )
+            cost = duration + self.retry.delay(attempt)
+            start = max(self.clocks[r].cpu.free_at for r in ranks)
+            for r in ranks:
+                self.clocks[r].cpu.schedule(start, cost, RESILIENCE_ACCOUNT)
+            self.traffic.collective_retries += 1
+            self.traffic.retry_seconds += cost
+
     def _collective(
         self, ranks: list[int], duration: float, account: str
     ) -> float:
         """Common synchronizing pattern: start when the *last* member's CPU
         is free, run ``duration``, everyone exits together."""
         self._check_group(ranks)
+        if self.injector is not None:
+            self._inject(ranks, duration)
         start = max(self.clocks[r].cpu.free_at for r in ranks)
         end = start + duration
         for r in ranks:

@@ -1,0 +1,189 @@
+"""Checkpoint/restart for the distributed MCL driver.
+
+A checkpoint captures everything needed to resume a run after the machine
+(or the process simulating it) dies mid-flight: the current column-
+stochastic iterate, the per-iteration history so far, the hybrid
+estimator's ``prev_cf`` state, the accumulated accounting counters, and a
+fingerprint of the ``(config, options)`` pair so a checkpoint cannot be
+resumed under different run parameters.
+
+Format: one ``.npz`` file holding the iterate's three arrays verbatim
+(bit-exact — the resume guarantee depends on it) plus a JSON metadata
+blob.  A SHA-256 checksum over the array bytes and the canonicalized
+metadata detects truncation/corruption at load time; every failure mode
+raises :class:`repro.errors.CheckpointError` with the reason.
+
+Determinism note: the driver's only randomness is the Cohen estimator's
+per-iteration seed ``config.seed + iteration``, so no generator state
+needs to be serialized — re-seeding per iteration *is* the RNG state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CheckpointError
+from ..sparse import CSCMatrix
+
+CHECKPOINT_VERSION = 1
+
+_FILENAME_RE = re.compile(r"mcl-iter-(\d+)\.ckpt\.npz$")
+
+
+def config_fingerprint(config, options) -> str:
+    """Stable digest of a ``(HipMCLConfig, MclOptions)`` pair.
+
+    Both are frozen dataclasses of plain values, so their ``repr`` is a
+    canonical serialization.
+    """
+    blob = f"{config!r}\x00{options!r}".encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+def checkpoint_path(directory, iteration: int) -> Path:
+    return Path(directory) / f"mcl-iter-{iteration:04d}.ckpt.npz"
+
+
+def latest_checkpoint(directory) -> Path | None:
+    """The highest-iteration checkpoint in ``directory``, if any."""
+    best, best_it = None, -1
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    for path in directory.iterdir():
+        m = _FILENAME_RE.search(path.name)
+        if m and int(m.group(1)) > best_it:
+            best, best_it = path, int(m.group(1))
+    return best
+
+
+def _checksum(meta: dict, arrays: dict[str, np.ndarray]) -> str:
+    """SHA-256 over the canonical metadata and the raw array bytes."""
+    h = hashlib.sha256()
+    h.update(json.dumps(meta, sort_keys=True).encode())
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(str(arr.dtype).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+@dataclass
+class MclCheckpoint:
+    """One saved driver state (see the module docstring for semantics)."""
+
+    iteration: int
+    work: CSCMatrix
+    history: list  # of repro.mcl.hipmcl.HipMCLIteration
+    prev_cf: float
+    elapsed_seconds: float
+    counters: dict
+    fingerprint: str
+    version: int = CHECKPOINT_VERSION
+
+
+def save_checkpoint(path, ckpt: MclCheckpoint) -> Path:
+    """Write ``ckpt`` to ``path`` (creating parent directories)."""
+    from dataclasses import asdict
+
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays = {
+        "indptr": ckpt.work.indptr,
+        "indices": ckpt.work.indices,
+        "data": ckpt.work.data,
+    }
+    meta = {
+        "version": ckpt.version,
+        "iteration": int(ckpt.iteration),
+        "shape": list(ckpt.work.shape),
+        "prev_cf": ckpt.prev_cf,
+        "elapsed_seconds": ckpt.elapsed_seconds,
+        "counters": ckpt.counters,
+        "fingerprint": ckpt.fingerprint,
+        "history": [asdict(h) for h in ckpt.history],
+    }
+    meta["checksum"] = _checksum(meta, arrays)
+    with open(path, "wb") as fh:
+        np.savez(fh, meta=np.array(json.dumps(meta)), **arrays)
+    return path
+
+
+def load_checkpoint(path, expected_fingerprint: str | None = None):
+    """Read, checksum-validate, and reconstruct a checkpoint.
+
+    ``expected_fingerprint`` (from :func:`config_fingerprint` of the
+    resuming run's config/options) guards against resuming under
+    different run parameters, which would silently change the trajectory.
+    """
+    from ..mcl.hipmcl import HipMCLIteration
+
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as npz:
+            meta = json.loads(str(npz["meta"]))
+            arrays = {
+                name: npz[name] for name in ("indptr", "indices", "data")
+            }
+    except (
+        OSError,
+        ValueError,
+        KeyError,
+        json.JSONDecodeError,
+        zipfile.BadZipFile,
+    ) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is unreadable: {exc}"
+        ) from exc
+    stored = meta.pop("checksum", None)
+    if stored is None or _checksum(meta, arrays) != stored:
+        raise CheckpointError(
+            f"checkpoint {path} failed checksum validation (truncated or "
+            "corrupted file)"
+        )
+    if meta.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has version {meta.get('version')!r}; this "
+            f"build reads version {CHECKPOINT_VERSION}"
+        )
+    if (
+        expected_fingerprint is not None
+        and meta["fingerprint"] != expected_fingerprint
+    ):
+        raise CheckpointError(
+            f"checkpoint {path} was written by a run with a different "
+            "configuration (config/options fingerprint mismatch); resume "
+            "with the original HipMCLConfig and MclOptions"
+        )
+    try:
+        work = CSCMatrix(
+            tuple(meta["shape"]),
+            arrays["indptr"],
+            arrays["indices"],
+            arrays["data"],
+        )
+    except Exception as exc:
+        raise CheckpointError(
+            f"checkpoint {path} holds an invalid iterate: {exc}"
+        ) from exc
+    history = [HipMCLIteration(**h) for h in meta["history"]]
+    return MclCheckpoint(
+        iteration=meta["iteration"],
+        work=work,
+        history=history,
+        prev_cf=float(meta["prev_cf"]),
+        elapsed_seconds=float(meta["elapsed_seconds"]),
+        counters=meta["counters"],
+        fingerprint=meta["fingerprint"],
+        version=meta["version"],
+    )

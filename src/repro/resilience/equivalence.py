@@ -1,0 +1,71 @@
+"""The fault-equivalence contract: what recovery must leave untouched.
+
+The headline guarantee of the resilience layer is that a run with
+injected-and-recovered faults produces **bit-identical cluster labels and
+per-iteration numeric records** to the fault-free run, differing only in
+*accounting*: simulated seconds, retry counters, stage breakdowns, the
+phase count an overrun recovery chose, and which estimation scheme a
+fallback ended up using.
+
+``TRAJECTORY_FIELDS`` pins the numeric trajectory — the quantities that
+depend only on the MCL iterates, not on how the machine executed them.
+:func:`divergence` compares two results field-by-field and returns a list
+of human-readable mismatches (empty means equivalent); the property tests
+and ``tools/run_chaos.py`` both assert through it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: HipMCLIteration fields that must be bit-identical under recovery.
+TRAJECTORY_FIELDS = (
+    "index",
+    "nnz_in",
+    "flops",
+    "exact_nnz",
+    "nnz_pruned",
+    "cf",
+    "chaos",
+)
+
+
+def trajectory(result) -> list[tuple]:
+    """The numeric per-iteration trajectory of a ``HipMCLResult``."""
+    return [
+        tuple(getattr(h, f) for f in TRAJECTORY_FIELDS)
+        for h in result.history
+    ]
+
+
+def divergence(reference, candidate) -> list[str]:
+    """Ways ``candidate`` numerically diverges from ``reference``.
+
+    Returns an empty list when the two runs are fault-equivalent:
+    identical labels, identical iteration/convergence outcome, and a
+    bit-identical numeric trajectory.
+    """
+    problems: list[str] = []
+    if not np.array_equal(reference.labels, candidate.labels):
+        problems.append(
+            f"cluster labels differ "
+            f"({(reference.labels != candidate.labels).sum()} of "
+            f"{len(reference.labels)} vertices)"
+        )
+    if reference.converged != candidate.converged:
+        problems.append(
+            f"converged: {reference.converged} vs {candidate.converged}"
+        )
+    ref_t, cand_t = trajectory(reference), trajectory(candidate)
+    if len(ref_t) != len(cand_t):
+        problems.append(
+            f"iteration count: {len(ref_t)} vs {len(cand_t)}"
+        )
+    for a, b in zip(ref_t, cand_t):
+        if a != b:
+            for name, va, vb in zip(TRAJECTORY_FIELDS, a, b):
+                if va != vb:
+                    problems.append(
+                        f"iteration {a[0]}: {name} {va!r} vs {vb!r}"
+                    )
+    return problems

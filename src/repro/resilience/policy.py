@@ -1,0 +1,97 @@
+"""Recovery policies: how the pipeline reacts to (injected) faults.
+
+Two small frozen dataclasses describe the recovery behavior; the fault
+*model* lives in :mod:`repro.resilience.faults` and the two are
+deliberately independent — a :class:`ResiliencePolicy` can be armed
+without any injector (hardening against genuine faults), and an injector
+can run against a policy with individual ladders disabled (to test the
+unrecovered failure paths).
+
+All recovery costs are charged to the *simulated* clocks: a retried
+collective re-runs its α-β duration plus an exponential backoff, a
+degraded kernel pays for the aborted staging, a phase-split re-runs the
+expansion.  Resilience is therefore visible in ``TrafficStats`` and the
+idle/stage accounting exactly like any other work — see
+``docs/resilience.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-exponential-backoff for transient collective failures.
+
+    Attempt ``a`` (0-based) that fails costs the full collective duration
+    plus ``base_delay_s * backoff**a`` of backoff before the next attempt.
+    After ``max_retries`` failed attempts the fault is no longer treated
+    as transient and the original error propagates.
+    """
+
+    max_retries: int = 4
+    base_delay_s: float = 1e-4
+    backoff: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0: {self.max_retries}")
+        if self.base_delay_s < 0:
+            raise ValueError(
+                f"base_delay_s must be >= 0: {self.base_delay_s}"
+            )
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1: {self.backoff}")
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before re-running after failed attempt ``attempt``."""
+        return self.base_delay_s * self.backoff ** attempt
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Which recovery ladders are armed for one HipMCL run.
+
+    ``retry``
+        Backoff schedule for transient collective failures.
+    ``degrade_kernels``
+        Demote along the kernel ladder (GPU → CPU-hash → CPU-heap) on
+        device allocation/launch faults (see
+        :func:`repro.spgemm.hybrid.degrade_kernel`).  Disarming it also
+        disables the kernel-site fault injection — the ladder is the
+        only recovery for those sites, so the driver never exposes the
+        expansion to faults it could not survive.
+    ``split_phases_on_overrun``
+        Re-run an expansion with doubled SUMMA phase count when the
+        observed per-rank footprint overran the memory budget (the
+        §VII-D underestimation hazard), up to ``max_phase_splits`` times.
+    ``estimator_fallback``
+        Back off from the probabilistic estimator to the exact symbolic
+        pass when the Cohen bound check fails, charging both passes.
+    ``validate``
+        Runtime invariant validators: ``"off"``, ``"warn"`` (emit a
+        warning and keep going), or ``"strict"`` (raise
+        :class:`repro.errors.InvariantViolation`).
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    degrade_kernels: bool = True
+    split_phases_on_overrun: bool = True
+    max_phase_splits: int = 3
+    estimator_fallback: bool = True
+    validate: str = "off"
+
+    def __post_init__(self):
+        if self.max_phase_splits < 0:
+            raise ValueError(
+                f"max_phase_splits must be >= 0: {self.max_phase_splits}"
+            )
+        if self.validate not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"validate must be 'off', 'warn', or 'strict': "
+                f"{self.validate!r}"
+            )
+
+
+DEFAULT_RESILIENCE = ResiliencePolicy()

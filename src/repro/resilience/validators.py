@@ -1,0 +1,141 @@
+"""Runtime invariant validators for the MCL pipeline.
+
+Cheap O(nnz) checks that catch silent corruption early — the failure mode
+checkpoint/restart and recovery ladders cannot help with, because a
+corrupted-but-running iterate checkpoints its corruption.  Three
+invariants:
+
+* **column stochasticity** — after inflation every non-empty column of
+  the iterate sums to 1 (the matrix is a transition matrix);
+* **CSC format invariants** — monotone ``indptr``, in-range row indices,
+  finite non-negative values (MCL weights are probabilities);
+* **chaos trend** — the convergence metric must not keep *rising*; a
+  bounded transient rise is normal early on (inflation can sharpen
+  columns unevenly), so the check only fires beyond a slack factor and
+  after a grace period.
+
+``mode="warn"`` reports through :class:`InvariantWarning`; ``"strict"``
+raises :class:`repro.errors.InvariantViolation` (for CI chaos sweeps,
+where a violation should fail loudly).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FormatError, InvariantViolation
+from ..sparse import CSCMatrix
+from ..sparse import _compressed as _c
+
+
+class InvariantWarning(UserWarning):
+    """Emitted by :class:`InvariantChecker` in ``warn`` mode."""
+
+
+@dataclass
+class InvariantChecker:
+    """Configured validator set; records every violation it sees.
+
+    ``violations`` accumulates the messages regardless of mode, so a
+    warn-mode run can still report them in its result.
+    """
+
+    mode: str = "warn"  # "off" | "warn" | "strict"
+    stochastic_tol: float = 1e-8
+    #: Chaos may rise by up to this factor over the previous iteration
+    #: before the trend check fires.
+    chaos_slack: float = 2.0
+    #: Iterations (1-based) exempt from the chaos trend check.
+    chaos_grace_iterations: int = 3
+    violations: list[str] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.mode not in ("off", "warn", "strict"):
+            raise ValueError(
+                f"mode must be 'off', 'warn', or 'strict': {self.mode!r}"
+            )
+        if self.stochastic_tol < 0:
+            raise ValueError(
+                f"stochastic_tol must be >= 0: {self.stochastic_tol}"
+            )
+        if self.chaos_slack < 1.0:
+            raise ValueError(f"chaos_slack must be >= 1: {self.chaos_slack}")
+
+    # -- reporting -------------------------------------------------------
+
+    def _report(self, message: str) -> None:
+        self.violations.append(message)
+        if self.mode == "strict":
+            raise InvariantViolation(message)
+        if self.mode == "warn":
+            warnings.warn(message, InvariantWarning, stacklevel=3)
+
+    # -- individual invariants -------------------------------------------
+
+    def check_format(self, mat: CSCMatrix, where: str = "") -> None:
+        """CSC structural invariants plus value sanity."""
+        if self.mode == "off":
+            return
+        label = f"{where}: " if where else ""
+        try:
+            _c.validate(
+                mat.indptr, mat.indices, mat.data, mat.ncols, mat.nrows
+            )
+        except FormatError as exc:
+            self._report(f"{label}CSC format invariant broken: {exc}")
+            return
+        if mat.nnz and not np.all(np.isfinite(mat.data)):
+            self._report(f"{label}non-finite values in the iterate")
+        elif mat.nnz and mat.data.min() < 0:
+            self._report(
+                f"{label}negative transition weight "
+                f"{mat.data.min()!r} in the iterate"
+            )
+
+    def check_column_stochastic(
+        self, mat: CSCMatrix, where: str = ""
+    ) -> None:
+        """Every non-empty column sums to 1 within ``stochastic_tol``."""
+        if self.mode == "off":
+            return
+        sums = mat.column_sums()
+        nonempty = mat.column_lengths() > 0
+        if not nonempty.any():
+            return
+        err = np.abs(sums[nonempty] - 1.0).max()
+        if err > self.stochastic_tol:
+            label = f"{where}: " if where else ""
+            self._report(
+                f"{label}iterate is not column stochastic "
+                f"(max |column sum - 1| = {err:.3e} > "
+                f"{self.stochastic_tol:.1e})"
+            )
+
+    def check_chaos_trend(self, chaos_history: list[float]) -> None:
+        """Chaos must not rise beyond the slack after the grace period."""
+        if self.mode == "off" or len(chaos_history) < 2:
+            return
+        it = len(chaos_history)  # 1-based index of the latest iteration
+        if it <= self.chaos_grace_iterations:
+            return
+        prev, cur = chaos_history[-2], chaos_history[-1]
+        if cur > prev * self.chaos_slack:
+            self._report(
+                f"chaos rose {prev:.3e} -> {cur:.3e} at iteration {it} "
+                f"(beyond the x{self.chaos_slack:g} slack); MCL is "
+                "diverging"
+            )
+
+    # -- driver hook -----------------------------------------------------
+
+    def after_iteration(
+        self, work: CSCMatrix, chaos_history: list[float], iteration: int
+    ) -> None:
+        """Run the full invariant set on one iteration's outcome."""
+        where = f"iteration {iteration}"
+        self.check_format(work, where)
+        self.check_column_stochastic(work, where)
+        self.check_chaos_trend(chaos_history)

@@ -75,6 +75,7 @@ def estimate_nnz(
     keys: int = 5,
     seed=None,
     rate: float = 1.0,
+    injector=None,
 ) -> NnzEstimate:
     """Estimate the per-column and total ``nnz(A·B)``.
 
@@ -89,6 +90,14 @@ def estimate_nnz(
         estimate is λ-invariant because λ cancels, exposed for testing).
     seed:
         Seed or generator for the key draws.
+    injector:
+        Optional :class:`repro.resilience.faults.FaultInjector`.  A
+        ``"bound-miss"`` fault raises
+        :class:`~repro.resilience.faults.InjectedEstimationError` — the
+        estimator detected its probabilistic bound was wrong, and the
+        caller backs off to the exact symbolic pass (Cohen's own recovery
+        ladder).  An ``"underestimate"`` fault silently deflates the
+        estimate, modeling the §VII-D hazard the overrun recovery handles.
     """
     if a.ncols != b.nrows:
         raise ShapeError(
@@ -98,6 +107,17 @@ def estimate_nnz(
         raise EstimationError(f"need at least 2 keys, got {keys}")
     if rate <= 0:
         raise EstimationError(f"exponential rate must be positive, got {rate}")
+    fault = injector.estimator_fault() if injector is not None else None
+    if fault == "bound-miss":
+        from ..resilience.faults import InjectedEstimationError
+
+        raise InjectedEstimationError(
+            f"injected Cohen bound miss (r={keys}): estimate rejected, "
+            "fall back to the exact symbolic pass"
+        )
+    deflation = (
+        injector.plan.estimator_deflation if fault == "underestimate" else 1.0
+    )
     rng = as_generator(seed)
     ops = float(keys) * (a.nnz + b.nnz)
     per_column = np.zeros(b.ncols)
@@ -112,6 +132,8 @@ def estimate_nnz(
     # (r-1)/Σy is the unbiased estimator of the reachability-set size for
     # exponential minima; multiply by λ to undo the scale.
     per_column[reached] = (keys - 1) / (sums[reached] * rate)
+    if deflation != 1.0:
+        per_column *= deflation
     return NnzEstimate(per_column, float(per_column.sum()), keys, ops)
 
 

@@ -85,6 +85,50 @@ def select_kernel(
     return KernelKind.CPU_HEAP
 
 
+#: Graceful-degradation ladder: where a faulted kernel falls back to.
+#: Device faults demote any GPU kernel to the CPU hash kernel (the
+#: paper's §III memory rationale — host memory is an order of magnitude
+#: larger); a faulted hash kernel (host hash-table overflow) demotes to
+#: the heap, which allocates only O(nnz per column).  The heap is the
+#: floor: ``degrade_kernel`` returns ``None`` below it.
+DEGRADATION_LADDER = {
+    KernelKind.GPU_NSPARSE: KernelKind.CPU_HASH,
+    KernelKind.GPU_RMERGE2: KernelKind.CPU_HASH,
+    KernelKind.GPU_BHSPARSE: KernelKind.CPU_HASH,
+    KernelKind.CPU_HASH: KernelKind.CPU_HEAP,
+    KernelKind.CPU_HEAP: None,
+}
+
+
+def degrade_kernel(kind: KernelKind) -> KernelKind | None:
+    """The next rung down the ladder after ``kind`` faults (or ``None``)."""
+    return DEGRADATION_LADDER[kind]
+
+
+def run_kernel_degraded(kind: KernelKind, a, b):
+    """Execute ``kind``, degrading down the ladder on recoverable faults.
+
+    Returns ``(product, kind_used, attempts)``.  Recoverable faults are
+    the memory/launch classes the simulated stack raises
+    (:class:`~repro.errors.DeviceMemoryError`,
+    :class:`~repro.errors.HostMemoryError`,
+    :class:`~repro.errors.KernelLaunchError`); anything else propagates.
+    Exhausting the ladder re-raises the last fault.
+    """
+    from ..errors import DeviceMemoryError, HostMemoryError, KernelLaunchError
+
+    attempts = 0
+    current: KernelKind | None = kind
+    while True:
+        attempts += 1
+        try:
+            return run_kernel(current, a, b), current, attempts
+        except (DeviceMemoryError, HostMemoryError, KernelLaunchError):
+            current = degrade_kernel(current)
+            if current is None:
+                raise
+
+
 def run_kernel(kind: KernelKind, a, b):
     """Execute the *actual* algorithm named by ``kind`` on host data.
 

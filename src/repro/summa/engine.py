@@ -31,17 +31,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import DeviceMemoryError
+from ..errors import DeviceMemoryError, InjectedFault, KernelLaunchError
 from ..gpu.device import GPUDevice
 from ..gpu.multigpu import split_columns
 from ..machine.spec import MachineSpec, SUMMIT_LIKE
 from ..merge import SCHEDULES, TripleList
-from ..mpi.comm import VirtualComm
+from ..mpi.comm import RESILIENCE_ACCOUNT, VirtualComm
 from ..sparse import CSCMatrix, hstack_csc
 from ..spgemm.esc import spgemm_esc
 from ..spgemm.hashspgemm import hash_operation_count
 from ..spgemm.heap import heap_operation_count
-from ..spgemm.hybrid import KernelKind, select_kernel
+from ..spgemm.hybrid import KernelKind, degrade_kernel, select_kernel
 from ..spgemm.metrics import WorkProfile
 from .distmatrix import DistributedCSC
 
@@ -127,6 +127,8 @@ class SummaResult:
     dist_c: DistributedCSC
     kernel_selections: Counter = field(default_factory=Counter)
     gpu_fallbacks: int = 0  # device-OOM falls back to CPU hash
+    #: CPU-hash -> heap demotions (injected host hash-table overflows).
+    kernel_demotions: int = 0
     merge_peak_event_elements: int = 0  # max over ranks/phases
     merge_peak_resident_elements: int = 0
     merge_operations: float = 0.0
@@ -194,14 +196,14 @@ def _gpu_stage_time(
         )
         c_nnz = int(product.indptr[hi] - product.indptr[lo])
         c_bytes = c_nnz * 16 + (hi - lo + 1) * 8
-        dev.allocate("A", a_bytes)
         try:
+            dev.allocate("A", a_bytes)
             dev.allocate("B", b_bytes)
             dev.allocate("C", c_bytes)
-        except DeviceMemoryError:
+            dev.count_launch()
+        except (DeviceMemoryError, KernelLaunchError):
             dev.free_all()
             raise
-        dev.count_launch()
         slab_flops = float(per_col_flops[lo:hi].sum())
         cf = slab_flops / c_nnz if c_nnz else 1.0
         worst = max(
@@ -246,6 +248,7 @@ def summa_multiply(
     phases: int = 1,
     phase_callback=None,
     devices: dict[int, list[GPUDevice]] | None = None,
+    injector=None,
 ) -> SummaResult:
     """Compute ``C = A·B`` on the grid, per the configured algorithm.
 
@@ -253,6 +256,13 @@ def summa_multiply(
     output slabs (dict ``(i, j) -> CSCMatrix``) and returns the (pruned)
     slabs to keep; rank clocks may be charged inside the callback (the
     HipMCL driver charges pruning there).
+
+    ``injector`` threads fault injection into the engine-created devices
+    and the CPU hash kernel.  Faulted kernels demote along the ladder
+    (GPU → CPU-hash → heap); *injected* faults additionally charge the
+    aborted attempt's staging/compute time under the resilience account,
+    so recovery shows up in the simulated timelines.  Numerics never
+    change — only which kernel kind is charged.
     """
     grid = dist_a.grid
     if dist_b.grid.q != grid.q:
@@ -272,7 +282,7 @@ def summa_multiply(
     if devices is None and config.use_gpu:
         devices = {
             r: [
-                GPUDevice(spec, index=d)
+                GPUDevice(spec, index=d, injector=injector)
                 for d in range(config.gpus_per_process)
             ]
             for r in range(grid.size)
@@ -370,15 +380,49 @@ def summa_multiply(
                         from ..spgemm.hybrid import run_kernel
 
                         product = run_kernel(kind, a_blk, b_blk)
-                    if kind.on_gpu:
+                    while kind.on_gpu:
                         try:
                             kern_s, h2d, d2h = _gpu_stage_time(
                                 spec, kind, a_blk, b_blk, product,
                                 devices[rank], per_col,
                             )
-                        except DeviceMemoryError:
-                            kind = KernelKind.CPU_HASH
+                            break
+                        except (DeviceMemoryError, KernelLaunchError) as exc:
+                            # Degradation ladder: the device failed this
+                            # stage (genuine OOM or injected transient),
+                            # so the multiply moves down a rung.  Only
+                            # injected faults charge the aborted staging
+                            # — a genuine OOM is caught before any copy.
                             result.gpu_fallbacks += 1
+                            if isinstance(exc, InjectedFault):
+                                waste = spec.h2d_time(a_blk.memory_bytes())
+                                start = max(
+                                    clock.cpu.free_at, clock.gpu.free_at
+                                )
+                                clock.cpu.schedule(
+                                    start, waste, RESILIENCE_ACCOUNT
+                                )
+                                clock.gpu.schedule(
+                                    start, waste, RESILIENCE_ACCOUNT
+                                )
+                            kind = degrade_kernel(kind)
+                    if (
+                        injector is not None
+                        and kind is KernelKind.CPU_HASH
+                        and injector.cpu_kernel_fault()
+                    ):
+                        # Injected host hash-table overflow: charge the
+                        # aborted hash attempt, demote to the heap.
+                        ops = _cpu_kernel_ops(
+                            kind, a_blk, b_blk, product.nnz
+                        )
+                        clock.cpu.schedule(
+                            clock.cpu.free_at,
+                            spec.cpu_spgemm_time(kind, ops, config.threads),
+                            RESILIENCE_ACCOUNT,
+                        )
+                        result.kernel_demotions += 1
+                        kind = degrade_kernel(kind)
                     result.kernel_selections[kind.value] += 1
                     if kind.on_gpu:
                         # Transfer occupies both host and device; the CPU

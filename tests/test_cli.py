@@ -91,6 +91,63 @@ def test_cluster_abc_file_with_labels(tmp_path, capsys):
     assert lines == ["P1\tP2\tP3", "P4\tP5\tP6"]
 
 
+def test_cluster_fault_injection_matches_clean_run(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    capsys.readouterr()
+    base_args = ["cluster", str(net_path), "--mode", "optimized",
+                 "--nodes", "4", "--select", "12"]
+    assert main(base_args) == 0
+    clean = capsys.readouterr().out
+    assert main(base_args + ["--fault-seed", "3"]) == 0
+    out = capsys.readouterr()
+    assert "recovered" in out.err and "injected faults" in out.err
+    assert out.out == clean  # bit-identical clustering under faults
+
+
+def test_cluster_checkpoint_and_resume(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    ckpt_dir = tmp_path / "ckpts"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    capsys.readouterr()
+    base_args = ["cluster", str(net_path), "--mode", "optimized",
+                 "--nodes", "4", "--select", "12"]
+    assert main(base_args + ["--checkpoint-dir", str(ckpt_dir)]) == 0
+    out = capsys.readouterr()
+    assert "checkpoints" in out.err
+    full = out.out
+    from repro.resilience import latest_checkpoint
+
+    ckpt = latest_checkpoint(ckpt_dir)
+    assert ckpt is not None
+    assert main(base_args + ["--resume-from", str(ckpt)]) == 0
+    out = capsys.readouterr()
+    assert "resumed from iteration" in out.err
+    assert out.out == full
+
+
+def test_cluster_strict_mode_exit_code(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    capsys.readouterr()
+    args = ["cluster", str(net_path), "--mode", "optimized", "--nodes", "4",
+            "--select", "12", "--max-iterations", "2", "--strict"]
+    assert main(args) == 3
+    assert "no convergence" in capsys.readouterr().err
+    # Without --strict the same run reports best-so-far and exits 0.
+    assert main(args[:-1]) == 0
+    assert "converged=False" in capsys.readouterr().err
+
+
+def test_cluster_resilience_flags_need_distributed_mode(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    for flag in (["--fault-seed", "1"], ["--checkpoint-dir", "/tmp/x"],
+                 ["--resume-from", "/tmp/x"]):
+        assert main(["cluster", str(net_path)] + flag) == 2
+        assert "distributed --mode" in capsys.readouterr().err
+
+
 def test_experiment_list(capsys):
     assert main(["experiment", "list"]) == 0
     out = capsys.readouterr().out

@@ -1,12 +1,20 @@
 """The perf subsystem's contracts: caches, arena, dispatch, bench compare."""
 
+import json
+import subprocess
+import sys
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.bench.perfbench import (
+    BaselineError,
     Comparison,
     compare_reports,
+    load_baseline,
     regressions,
+    validate_report,
 )
 from repro.perf import fast_paths
 from repro.perf.arena import Arena
@@ -55,6 +63,71 @@ def test_memo_builds_once_per_key():
     assert first is again
     assert other is not first
     assert len(calls) == 2
+
+
+class TestMutationPathsInvalidateCaches:
+    """Audit of the immutable-after-construction contract.
+
+    Every supported way of changing what a ``CSCMatrix`` holds must leave
+    ``column_lengths()`` (and the memo) consistent: in-place array surgery
+    must go through ``invalidate_caches()``, and every deriving method
+    must return an instance whose caches start empty.
+    """
+
+    def _primed(self, seed=10):
+        mat = random_csc((30, 24), 0.15, seed=seed)
+        lens = mat.column_lengths()
+        memo(mat, "probe", lambda: "stale")
+        return mat, lens
+
+    def test_inplace_data_surgery(self):
+        mat, _ = self._primed()
+        mat.data[:] = 2.0
+        mat.invalidate_caches()
+        assert memo(mat, "probe", lambda: "fresh") == "fresh"
+
+    def test_inplace_indptr_surgery(self):
+        mat, lens = self._primed()
+        # Drop the last column's entries by closing its indptr window.
+        mat.indptr[-1] = mat.indptr[-2]
+        mat.invalidate_caches()
+        fresh = mat.column_lengths()
+        assert fresh is not lens
+        assert fresh[-1] == 0
+        assert np.array_equal(fresh, np.diff(mat.indptr))
+        assert memo(mat, "probe", lambda: "fresh") == "fresh"
+
+    def test_inplace_indices_surgery(self):
+        mat, lens = self._primed()
+        if mat.nnz:
+            mat.indices[0] = (mat.indices[0] + 1) % mat.nrows
+        mat.invalidate_caches()
+        assert mat.column_lengths() is not lens
+        assert memo(mat, "probe", lambda: "fresh") == "fresh"
+
+    @pytest.mark.parametrize(
+        "derive",
+        [
+            lambda m: m.copy(),
+            lambda m: m.sorted(),
+            lambda m: m.sum_duplicates(),
+            lambda m: m.pruned_zeros(),
+            lambda m: m.transpose(),
+            lambda m: m.column_slab(0, m.ncols // 2),
+            lambda m: m.scale_columns(np.ones(m.ncols)),
+        ],
+        ids=["copy", "sorted", "sum_duplicates", "pruned_zeros",
+             "transpose", "column_slab", "scale_columns"],
+    )
+    def test_deriving_methods_start_with_empty_caches(self, derive):
+        mat, _ = self._primed()
+        out = derive(mat)
+        assert out._lens is None
+        assert out._memo is None
+        assert np.array_equal(out.column_lengths(), np.diff(out.indptr))
+        # The derived instance's memo is independent of the parent's.
+        assert memo(out, "probe", lambda: "fresh") == "fresh"
+        assert memo(mat, "probe", lambda: "never") == "stale"
 
 
 # ---------------------------------------------------------------------------
@@ -154,3 +227,78 @@ def test_regressions_respect_tolerance():
 def test_comparison_handles_zero_baseline():
     c = Comparison("x", 0.0, 0.5)
     assert c.regressed(0.25)
+
+
+# ---------------------------------------------------------------------------
+# Baseline validation for --check (fails fast, with actionable messages)
+# ---------------------------------------------------------------------------
+
+
+class TestBaselineValidation:
+    def _valid(self):
+        return {
+            "schema": 1,
+            "end_to_end": {"net": {"seconds": 1.0}},
+            "micro": {"esc": {"seconds": 0.01}},
+        }
+
+    def test_valid_report_accepted(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps(self._valid()))
+        assert load_baseline(path) == self._valid()
+        assert validate_report(self._valid()) == []
+
+    def test_missing_file_names_the_fix(self, tmp_path):
+        with pytest.raises(BaselineError, match="not found.*run_perfbench"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_unparseable_json_reported(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(BaselineError, match="not readable JSON"):
+            load_baseline(path)
+
+    def test_schema_version_mismatch_reported(self, tmp_path):
+        report = self._valid()
+        report["schema"] = 99
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps(report))
+        with pytest.raises(BaselineError, match="schema version is 99"):
+            load_baseline(path)
+
+    def test_malformed_sections_enumerated(self):
+        problems = validate_report(
+            {"schema": 1, "end_to_end": [], "micro": {"esc": {"ms": 3}}}
+        )
+        assert any("end_to_end" in p for p in problems)
+        assert any("micro/esc" in p for p in problems)
+        assert validate_report([1, 2]) != []
+
+    @pytest.mark.parametrize(
+        "content,needle",
+        [
+            (None, "not found"),
+            ("{broken", "not readable JSON"),
+            ('{"schema": 99, "end_to_end": {}, "micro": {}}',
+             "schema version"),
+        ],
+        ids=["missing", "garbage", "schema"],
+    )
+    def test_cli_check_fails_fast_without_traceback(
+        self, tmp_path, content, needle
+    ):
+        baseline = tmp_path / "base.json"
+        if content is not None:
+            baseline.write_text(content)
+        root = Path(__file__).resolve().parent.parent
+        proc = subprocess.run(
+            [sys.executable, str(root / "tools" / "run_perfbench.py"),
+             "--check", "--baseline", str(baseline)],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode == 2
+        assert needle in proc.stderr
+        assert "Traceback" not in proc.stderr
+        # Fails before running any benchmark (the whole point of the
+        # fail-fast ordering).
+        assert "end-to-end" not in proc.stdout

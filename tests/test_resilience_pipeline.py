@@ -1,0 +1,236 @@
+"""Driver-level resilience: fault recovery equivalence, checkpoint/
+restart, strict mode, and the chaos sweep entry points."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError, ConvergenceError
+from repro.mcl.hipmcl import HipMCLConfig, hipmcl
+from repro.mcl.options import MclOptions
+from repro.resilience import (
+    FaultPlan,
+    ResiliencePolicy,
+    divergence,
+    latest_checkpoint,
+    trajectory,
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def net(tiny_network):
+    return tiny_network.matrix
+
+
+@pytest.fixture(scope="module")
+def opts(tiny_options):
+    return tiny_options
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return HipMCLConfig(nodes=4)
+
+
+@pytest.fixture(scope="module")
+def baseline(net, opts, cfg):
+    return hipmcl(net, opts, cfg)
+
+
+# ---------------------------------------------------------------------------
+# The headline guarantee
+# ---------------------------------------------------------------------------
+
+
+class TestFaultEquivalence:
+    def test_recovered_chaos_run_is_bit_identical(self, net, opts, cfg,
+                                                  baseline):
+        faulty = hipmcl(net, opts, cfg, faults=FaultPlan.chaos(0))
+        assert sum(faulty.faults_injected.values()) > 0
+        assert divergence(baseline, faulty) == []
+        assert np.array_equal(baseline.labels, faulty.labels)
+        assert trajectory(baseline) == trajectory(faulty)
+
+    def test_recovery_costs_simulated_time(self, net, opts, cfg, baseline):
+        faulty = hipmcl(net, opts, cfg, faults=FaultPlan.chaos(1))
+        assert faulty.elapsed_seconds > baseline.elapsed_seconds
+        assert faulty.comm_retries > 0
+        assert faulty.retry_seconds > 0
+        assert faulty.straggler_events > 0
+
+    def test_same_plan_replays_the_same_faults(self, net, opts, cfg):
+        a = hipmcl(net, opts, cfg, faults=FaultPlan.chaos(2))
+        b = hipmcl(net, opts, cfg, faults=FaultPlan.chaos(2))
+        assert a.faults_injected == b.faults_injected
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_estimator_bound_miss_falls_back_to_symbolic(self, net, opts,
+                                                         cfg, baseline):
+        plan = FaultPlan(seed=3, estimator_miss_rate=1.0)
+        res = hipmcl(net, opts, cfg, faults=plan)
+        assert res.estimator_fallbacks == res.iterations
+        assert all(h.estimator_used == "symbolic" for h in res.history)
+        assert divergence(baseline, res) == []
+
+    def test_underestimate_triggers_phase_split_recovery(self, net, opts):
+        tight = HipMCLConfig(nodes=4, memory_budget_bytes=48 * 1024)
+        base = hipmcl(net, opts, tight)
+        plan = FaultPlan(seed=7, estimator_underestimate_rate=0.9,
+                         estimator_deflation=0.1)
+        res = hipmcl(net, opts, tight, faults=plan)
+        assert res.phase_split_retries > 0
+        assert divergence(base, res) == []
+
+    def test_disarmed_ladder_skips_kernel_sites(self, net, opts, baseline):
+        plan = FaultPlan(seed=4, gpu_alloc_rate=0.5, gpu_launch_rate=0.5,
+                         cpu_kernel_rate=0.5)
+        cfg = HipMCLConfig(
+            nodes=4,
+            resilience=ResiliencePolicy(degrade_kernels=False),
+        )
+        res = hipmcl(net, opts, cfg, faults=plan)
+        for site in ("gpu_alloc", "gpu_launch", "cpu_kernel"):
+            assert site not in res.faults_injected
+        assert divergence(baseline, res) == []
+
+    def test_bad_faults_argument_rejected(self, net, opts, cfg):
+        with pytest.raises(TypeError, match="FaultPlan"):
+            hipmcl(net, opts, cfg, faults="chaos")
+
+
+# ---------------------------------------------------------------------------
+# Strict mode (satellite: never lose a partial result)
+# ---------------------------------------------------------------------------
+
+
+class TestStrictMode:
+    def test_default_returns_best_so_far(self, net, cfg):
+        short = MclOptions(select_number=25, max_iterations=2)
+        res = hipmcl(net, short, cfg)
+        assert not res.converged
+        assert res.iterations == 2
+        assert len(res.labels) == net.ncols  # a usable clustering anyway
+
+    def test_strict_raises_with_partial_attached(self, net, cfg):
+        short = MclOptions(select_number=25, max_iterations=2)
+        with pytest.raises(ConvergenceError) as exc_info:
+            hipmcl(net, short, cfg, strict=True)
+        partial = exc_info.value.partial
+        assert partial is not None and not partial.converged
+        assert partial.iterations == 2
+        plain = hipmcl(net, short, cfg)
+        assert np.array_equal(partial.labels, plain.labels)
+
+    def test_strict_is_quiet_on_convergence(self, net, opts, cfg, baseline):
+        res = hipmcl(net, opts, cfg, strict=True)
+        assert res.converged
+        assert divergence(baseline, res) == []
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint / restart
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpointRestart:
+    def test_resume_reaches_identical_result(self, net, opts, cfg, baseline,
+                                             tmp_path):
+        full = hipmcl(net, opts, cfg, checkpoint_dir=tmp_path)
+        assert full.checkpoints_written == full.iterations - 1
+        assert divergence(baseline, full) == []
+        ckpt = latest_checkpoint(tmp_path)
+        assert ckpt is not None
+        resumed = hipmcl(net, opts, cfg, resume_from=ckpt)
+        assert resumed.resumed_from_iteration == full.iterations - 1
+        assert divergence(full, resumed) == []
+        assert resumed.elapsed_seconds == pytest.approx(
+            full.elapsed_seconds, rel=0.2
+        )
+
+    def test_resume_from_midpoint_checkpoint(self, net, opts, cfg, baseline,
+                                             tmp_path):
+        full = hipmcl(net, opts, cfg, checkpoint_dir=tmp_path,
+                      checkpoint_every=4)
+        assert full.checkpoints_written >= 1
+        from repro.resilience import checkpoint_path
+
+        resumed = hipmcl(net, opts, cfg,
+                         resume_from=checkpoint_path(tmp_path, 4))
+        assert resumed.resumed_from_iteration == 4
+        assert divergence(baseline, resumed) == []
+
+    def test_resume_under_different_config_rejected(self, net, opts, cfg,
+                                                    tmp_path):
+        hipmcl(net, opts, cfg, checkpoint_dir=tmp_path)
+        other = HipMCLConfig(nodes=4, seed=99)
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            hipmcl(net, opts, other,
+                   resume_from=latest_checkpoint(tmp_path))
+
+    def test_checkpoint_every_validated(self, net, opts, cfg):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            hipmcl(net, opts, cfg, checkpoint_every=0)
+
+    def test_faulty_run_checkpoints_resume_cleanly(self, net, opts, cfg,
+                                                   baseline, tmp_path):
+        faulty = hipmcl(net, opts, cfg, faults=FaultPlan.chaos(5),
+                        checkpoint_dir=tmp_path)
+        assert divergence(baseline, faulty) == []
+        resumed = hipmcl(net, opts, cfg,
+                         resume_from=latest_checkpoint(tmp_path))
+        assert divergence(baseline, resumed) == []
+
+
+# ---------------------------------------------------------------------------
+# Validators wired into the driver
+# ---------------------------------------------------------------------------
+
+
+class TestDriverValidators:
+    def test_clean_run_has_no_violations_in_strict_mode(self, net, opts,
+                                                        baseline):
+        cfg = HipMCLConfig(
+            nodes=4, resilience=ResiliencePolicy(validate="strict")
+        )
+        res = hipmcl(net, opts, cfg)
+        assert res.invariant_violations == []
+        assert divergence(baseline, res) == []
+
+    def test_chaos_run_passes_validators(self, net, opts):
+        cfg = HipMCLConfig(
+            nodes=4, resilience=ResiliencePolicy(validate="strict")
+        )
+        res = hipmcl(net, opts, cfg, faults=FaultPlan.chaos(6))
+        assert res.invariant_violations == []
+
+
+# ---------------------------------------------------------------------------
+# The chaos sweep driver (tools/run_chaos.py)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.tier2_chaos
+@pytest.mark.slow
+def test_run_chaos_sweep_passes():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "run_chaos.py"),
+         "--plans", "2", "--net", "archaea-xs"],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "all bit-identical" in proc.stdout
+
+
+def test_run_chaos_rejects_unknown_network():
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "tools" / "run_chaos.py"),
+         "--net", "no-such-net"],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 2
+    assert "unknown network" in proc.stderr

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Chaos sweep: verify fault recovery never changes the clustering.
+
+Runs one fault-free HipMCL baseline, then N runs with deterministic
+fault plans (seeds 0..N-1), and checks every faulted run reproduces the
+baseline bit-for-bit (labels and the numeric per-iteration trajectory —
+see repro.resilience.equivalence).  Any divergence is a resilience bug:
+
+    PYTHONPATH=src python tools/run_chaos.py --plans 25
+    PYTHONPATH=src python tools/run_chaos.py --net eukarya-xs \\
+        --plans 10 --intensity 0.5
+
+Exit status: 0 when every plan converges to the baseline, 1 on any
+divergence, 2 on setup errors.  The same sweep runs in CI as the
+``tier2_chaos`` pytest marker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.bench.harness import load_network, options_for  # noqa: E402
+from repro.mcl.hipmcl import HipMCLConfig, hipmcl  # noqa: E402
+from repro.nets import catalog  # noqa: E402
+from repro.resilience import FaultPlan, divergence  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--net", default="archaea-xs",
+        help="catalog network to cluster (default archaea-xs)",
+    )
+    parser.add_argument(
+        "--plans", type=int, default=10,
+        help="number of seeded fault plans to sweep (default 10)",
+    )
+    parser.add_argument(
+        "--seed0", type=int, default=0,
+        help="first fault-plan seed (default 0)",
+    )
+    parser.add_argument(
+        "--intensity", type=float, default=0.2,
+        help="FaultPlan.chaos intensity in [0, 1] (default 0.2)",
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=16,
+        help="virtual node count (perfect square, default 16)",
+    )
+    args = parser.parse_args(argv)
+    if args.plans < 1:
+        print("error: --plans must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        entry = catalog.entry(args.net)
+    except KeyError:
+        names = ", ".join(sorted(catalog.CATALOG))
+        print(
+            f"error: unknown network {args.net!r}; one of: {names}",
+            file=sys.stderr,
+        )
+        return 2
+    net = load_network(args.net)
+    opts = options_for(args.net)
+    cfg = HipMCLConfig.optimized(
+        nodes=args.nodes, memory_budget_bytes=entry.memory_budget_bytes
+    )
+
+    baseline = hipmcl(net.matrix, opts, cfg)
+    print(
+        f"baseline {args.net}: {baseline.n_clusters} clusters in "
+        f"{baseline.iterations} iterations, "
+        f"{baseline.elapsed_seconds:.4f} simulated s"
+    )
+
+    failures = 0
+    for seed in range(args.seed0, args.seed0 + args.plans):
+        plan = FaultPlan.chaos(seed, intensity=args.intensity)
+        res = hipmcl(net.matrix, opts, cfg, faults=plan)
+        injected = sum(res.faults_injected.values())
+        diffs = divergence(baseline, res)
+        slowdown = (
+            res.elapsed_seconds / baseline.elapsed_seconds
+            if baseline.elapsed_seconds
+            else 1.0
+        )
+        status = "ok" if not diffs else "DIVERGED"
+        print(
+            f"plan seed={seed}: {injected} faults injected "
+            f"({res.comm_retries} retries, {res.straggler_events} "
+            f"stragglers, {res.gpu_fallbacks + res.kernel_demotions} "
+            f"demotions, {res.estimator_fallbacks} estimator fallbacks, "
+            f"{res.phase_split_retries} phase splits), "
+            f"x{slowdown:.2f} simulated time ... {status}"
+        )
+        if diffs:
+            failures += 1
+            for d in diffs:
+                print(f"    {d}")
+    if failures:
+        print(
+            f"FAIL: {failures}/{args.plans} fault plans diverged from the "
+            "fault-free baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"OK: {args.plans} fault plans, all bit-identical to baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,8 +23,10 @@ sys.path.insert(0, str(ROOT / "src"))
 
 from repro.bench.perfbench import (  # noqa: E402
     DEFAULT_TOLERANCE,
+    RERECORD_HINT,
+    BaselineError,
     compare_reports,
-    load_report,
+    load_baseline,
     regressions,
     run_perfbench,
     save_report,
@@ -61,9 +63,15 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.check and not args.baseline.exists():
-        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
-        return 2
+    # Validate the baseline *before* spending minutes on benchmarks, so a
+    # missing or stale file fails fast with a fix-it message.
+    baseline = None
+    if args.check:
+        try:
+            baseline = load_baseline(args.baseline)
+        except BaselineError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     report = run_perfbench(repeats=args.repeats, log=print)
 
@@ -77,13 +85,13 @@ def main(argv=None) -> int:
     if not args.check:
         return 0
 
-    if not args.baseline.exists():
-        print(f"error: baseline {args.baseline} not found", file=sys.stderr)
-        return 2
-    baseline = load_report(args.baseline)
     rows = compare_reports(report, baseline)
     if not rows:
-        print("error: no comparable benchmarks in baseline", file=sys.stderr)
+        print(
+            f"error: baseline {args.baseline} shares no benchmark names "
+            f"with the current harness — {RERECORD_HINT}",
+            file=sys.stderr,
+        )
         return 2
     width = max(len(r.name) for r in rows)
     for r in rows:
