@@ -4,14 +4,19 @@ Unlike :mod:`repro.bench.harness` — which reports *simulated* seconds from
 the machine model — this module times real Python wall-clock so speed
 regressions in the numeric kernels are caught in review.  It runs
 
-* end-to-end HipMCL on three catalog networks, and
+* end-to-end HipMCL on three catalog networks,
 * six microbenchmarks, one per fast-path kernel family
-  (esc, hash, merge, prune, estimator, components),
+  (esc, hash, merge, prune, estimator, components), and
+* a worker-scaling sweep: the densest network end-to-end under the
+  process-parallel execution backend at 1, 2 and 4 workers,
 
 and emits a JSON report comparable against a committed baseline
 (``BENCH_PR<k>.json`` at the repo root).  ``tools/run_perfbench.py`` is
 the CLI; ``--check`` exits nonzero when any benchmark is more than
-``tolerance`` (default 25 %) slower than the baseline.
+``tolerance`` (default 25 %) slower than the baseline.  Every scaling
+entry compares only against the *same worker count* in the baseline, so
+the gate stays meaningful on boxes where pool overhead exceeds the
+parallel win (e.g. single-core CI runners).
 
 Wall-clock on shared machines is noisy: every measurement is the best of
 ``repeats`` runs after one warmup, and the comparison uses a generous
@@ -32,7 +37,12 @@ import numpy as np
 #: per-kernel regressions; isom100-3-xs is the densest of the three).
 BENCH_NETS = ("archaea-xs", "eukarya-xs", "isom100-3-xs")
 
-SCHEMA_VERSION = 1
+#: The worker-scaling sweep: net × worker counts (the densest bench net,
+#: where the SUMMA stage batches are fattest).
+SCALING_NET = "isom100-3-xs"
+SCALING_WORKERS = (1, 2, 4)
+
+SCHEMA_VERSION = 2
 
 #: Fractional slowdown vs the baseline that counts as a regression.
 DEFAULT_TOLERANCE = 0.25
@@ -54,7 +64,9 @@ def _best_of(fn, repeats: int) -> float:
 # ---------------------------------------------------------------------------
 
 
-def bench_end_to_end(net_name: str, repeats: int = 1) -> dict:
+def bench_end_to_end(
+    net_name: str, repeats: int = 1, workers: int | str | None = None
+) -> dict:
     """Time one full fast-path HipMCL run on a catalog network."""
     from ..mcl.hipmcl import HipMCLConfig, hipmcl
     from ..nets import catalog
@@ -69,7 +81,7 @@ def bench_end_to_end(net_name: str, repeats: int = 1) -> dict:
     result = {}
 
     def run():
-        result["res"] = hipmcl(net.matrix, opts, cfg)
+        result["res"] = hipmcl(net.matrix, opts, cfg, workers=workers)
 
     seconds = _best_of(run, repeats)
     res = result["res"]
@@ -149,7 +161,7 @@ MICROBENCHMARKS = {
 }
 
 
-def bench_micro(name: str, repeats: int = 3) -> dict:
+def bench_micro(name: str, repeats: int = 5) -> dict:
     fn = MICROBENCHMARKS[name]()
     return {"seconds": _best_of(fn, repeats)}
 
@@ -160,21 +172,36 @@ def bench_micro(name: str, repeats: int = 3) -> dict:
 
 
 def run_perfbench(
-    repeats: int = 3, nets=BENCH_NETS, log=None
+    repeats: int = 5,
+    nets=BENCH_NETS,
+    log=None,
+    workers: int | str | None = None,
+    scaling: bool = True,
 ) -> dict:
-    """Run every benchmark; returns the JSON-serializable report."""
+    """Run every benchmark; returns the JSON-serializable report.
+
+    ``workers`` selects the execution backend for the end-to-end runs
+    (recorded in the report); the scaling sweep always pins its own
+    counts.  ``scaling=False`` skips the sweep (it costs three extra
+    end-to-end runs of :data:`SCALING_NET`).
+    """
+    from ..parallel import resolve_workers
     from ..perf import dispatch
 
     report = {
         "schema": SCHEMA_VERSION,
         "fast_paths": dispatch.enabled(),
+        "workers": resolve_workers(workers),
         "numpy": np.__version__,
         "python": platform.python_version(),
         "end_to_end": {},
         "micro": {},
+        "scaling": {},
     }
     for net in nets:
-        report["end_to_end"][net] = bench_end_to_end(net, repeats=1)
+        report["end_to_end"][net] = bench_end_to_end(
+            net, repeats=1, workers=workers
+        )
         if log:
             log(f"end-to-end {net}: "
                 f"{report['end_to_end'][net]['seconds']:.3f}s")
@@ -182,6 +209,15 @@ def run_perfbench(
         report["micro"][name] = bench_micro(name, repeats=repeats)
         if log:
             log(f"micro {name}: {report['micro'][name]['seconds'] * 1e3:.1f}ms")
+    if scaling:
+        rows = report["scaling"][SCALING_NET] = {}
+        for w in SCALING_WORKERS:
+            rows[f"w{w}"] = bench_end_to_end(
+                SCALING_NET, repeats=1, workers=w
+            )
+            if log:
+                log(f"scaling {SCALING_NET} workers={w}: "
+                    f"{rows[f'w{w}']['seconds']:.3f}s")
     return report
 
 
@@ -207,6 +243,9 @@ def _flatten(report: dict) -> dict:
         out[f"end_to_end/{net}"] = float(row["seconds"])
     for name, row in report.get("micro", {}).items():
         out[f"micro/{name}"] = float(row["seconds"])
+    for net, counts in report.get("scaling", {}).items():
+        for wk, row in counts.items():
+            out[f"scaling/{net}/{wk}"] = float(row["seconds"])
     return out
 
 
@@ -227,6 +266,42 @@ def regressions(
     return [
         c for c in compare_reports(current, baseline) if c.regressed(tolerance)
     ]
+
+
+def remeasure_into(
+    report: dict,
+    name: str,
+    repeats: int = 5,
+    workers: int | str | None = None,
+) -> bool:
+    """Re-time one flattened benchmark; keep the better of the two runs.
+
+    The gate uses this to absorb one-shot machine noise: an entry that
+    *looks* regressed is measured a second time, and only the min of the
+    two observations is compared against the baseline.  Returns ``False``
+    for names the harness no longer measures (a stale baseline entry).
+    """
+    parts = name.split("/")
+    try:
+        if parts[0] == "end_to_end" and len(parts) == 2:
+            sec = bench_end_to_end(
+                parts[1], repeats=1, workers=workers
+            )["seconds"]
+            row = report["end_to_end"][parts[1]]
+        elif parts[0] == "micro" and len(parts) == 2:
+            sec = bench_micro(parts[1], repeats=repeats)["seconds"]
+            row = report["micro"][parts[1]]
+        elif parts[0] == "scaling" and len(parts) == 3:
+            sec = bench_end_to_end(
+                parts[1], repeats=1, workers=int(parts[2][1:])
+            )["seconds"]
+            row = report["scaling"][parts[1]][parts[2]]
+        else:
+            return False
+    except (KeyError, ValueError):
+        return False
+    row["seconds"] = min(float(row["seconds"]), float(sec))
+    return True
 
 
 def save_report(report: dict, path) -> None:
@@ -280,6 +355,22 @@ def validate_report(report) -> list[str]:
                 problems.append(
                     f"{section}/{name} lacks a numeric 'seconds' field"
                 )
+    scaling = report.get("scaling", {})
+    if not isinstance(scaling, dict):
+        problems.append("malformed 'scaling' section")
+    else:
+        for net, counts in scaling.items():
+            if not isinstance(counts, dict):
+                problems.append(f"scaling/{net} is not an object")
+                continue
+            for wk, row in counts.items():
+                if not (
+                    isinstance(row, dict)
+                    and isinstance(row.get("seconds"), (int, float))
+                ):
+                    problems.append(
+                        f"scaling/{net}/{wk} lacks a numeric 'seconds' field"
+                    )
     return problems
 
 

@@ -88,6 +88,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="fault-plan intensity in [0, 1] for --fault-seed "
         "(default 0.2)",
     )
+    clu.add_argument(
+        "--workers", metavar="N",
+        help="worker processes for the wall-clock execution backend "
+        "('auto' = one per core; distributed modes only; results are "
+        "bit-identical for any value; default: REPRO_WORKERS or serial)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -149,6 +155,7 @@ def _cmd_cluster(args) -> int:
             (args.checkpoint_dir, "--checkpoint-dir"),
             (args.resume_from, "--resume-from"),
             (args.fault_seed, "--fault-seed"),
+            (args.workers, "--workers"),
         ):
             if flag is not None:
                 print(
@@ -178,6 +185,14 @@ def _cmd_cluster(args) -> int:
             faults = FaultPlan.chaos(
                 args.fault_seed, intensity=args.fault_intensity
             )
+        if args.workers is not None:
+            from .parallel import resolve_workers
+
+            try:
+                resolve_workers(args.workers)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         try:
             res = hipmcl(
                 matrix, options, cfg,
@@ -185,6 +200,7 @@ def _cmd_cluster(args) -> int:
                 faults=faults,
                 resume_from=args.resume_from,
                 checkpoint_dir=args.checkpoint_dir,
+                workers=args.workers,
             )
         except ConvergenceError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -454,6 +454,7 @@ def hipmcl(
     resume_from=None,
     checkpoint_dir=None,
     checkpoint_every: int = 1,
+    workers: int | str | None = None,
 ) -> HipMCLResult:
     """Run distributed MCL on the simulated machine and cluster ``matrix``.
 
@@ -479,6 +480,13 @@ def hipmcl(
     checkpoint_dir / checkpoint_every:
         Write a checksum-validated checkpoint every ``checkpoint_every``
         completed (non-final) iterations into ``checkpoint_dir``.
+    workers:
+        Wall-clock execution backend (see :mod:`repro.parallel`): the
+        number of worker processes to fan independent SUMMA local
+        products and per-column prunes across.  Defaults to the
+        ``REPRO_WORKERS`` environment variable, else serial.  Any value
+        produces bit-identical results — parallelism relocates
+        computation without reordering any reduction.
     """
     wall_start = _time.perf_counter()
     options = options or MclOptions()
@@ -489,6 +497,9 @@ def hipmcl(
         )
     spec = config.spec
     grid = ProcessGrid.for_processes(config.processes)
+    from ..parallel import get_executor
+
+    executor = get_executor(workers)
     injector = as_injector(faults)
     policy = config.resilience
     if policy is None and injector is not None:
@@ -623,6 +634,21 @@ def hipmcl(
 
         def prune_callback(blocks, phase_index):
             pruned_blocks = {}
+            # The §II per-column prune protocol is pure (all clock and
+            # exchange accounting happens below, serially), so with a
+            # process executor every block column prunes concurrently;
+            # results are consumed in the usual j order.
+            batched_prune = None
+            if executor.workers > 1 and options.recover_number == 0:
+                from ..parallel.work import prune_block_column
+
+                batched_prune = executor.run_batch(
+                    prune_block_column,
+                    [
+                        ([blocks[(i, j)] for i in range(grid.q)], options)
+                        for j in range(grid.q)
+                    ],
+                )
             for j in range(grid.q):
                 col_ranks = grid.col_members(j)
                 col_blocks = [blocks[(i, j)] for i in range(grid.q)]
@@ -664,8 +690,12 @@ def hipmcl(
                     # Faithful §II protocol: local top-k candidates →
                     # exchanged threshold → local filter.  Identical to
                     # the centralized prune (validated in tests).
-                    pruned_col = distributed_prune_block_column(
-                        col_blocks, options
+                    pruned_col = (
+                        batched_prune[j]
+                        if batched_prune is not None
+                        else distributed_prune_block_column(
+                            col_blocks, options
+                        )
                     )
                     for i in range(grid.q):
                         pruned_blocks[(i, j)] = pruned_col[i]
@@ -700,6 +730,7 @@ def hipmcl(
                 phases=attempt_phases,
                 phase_callback=prune_callback,
                 injector=summa_injector,
+                executor=executor,
             )
             for k, v in summa_res.kernel_selections.items():
                 kernel_selections[k] = kernel_selections.get(k, 0) + v

@@ -1,0 +1,50 @@
+"""Multicore execution layer: process-parallel batches of independent work.
+
+The simulator's *modeled* concurrency (pipelined Sparse SUMMA overlapping
+stage-k multiplies with stage-(k+1) broadcasts) runs on simulated clocks;
+this package makes the *wall-clock* scale with cores too.  An
+:class:`~repro.parallel.executor.Executor` fans genuinely independent work
+units — per-block local SpGEMMs, per-block-column prunes, per-column-slab
+kernel batches — across a persistent ``multiprocessing`` pool, moving CSC
+blocks through POSIX shared memory (zero-pickle ``indptr/indices/data``)
+with a pickling fallback for small blocks.
+
+The determinism contract is the same one the fast-path engine and the
+resilience layer pin: ``workers=N`` is **bit-identical** to ``workers=1``.
+Parallelism only relocates computation, never reorders a reduction —
+results are gathered and consumed in the same deterministic ``(i, j)`` /
+column order the serial loop uses, and every fault-injection draw stays in
+the parent process.  See ``docs/performance.md`` ("Execution backends").
+
+Backend selection, in precedence order:
+
+1. an explicit ``workers=`` keyword (``hipmcl``, ``summa_multiply``, the
+   benches) / ``--workers`` on the CLI and tools;
+2. the ``REPRO_WORKERS`` environment variable (``"auto"``/``"0"`` means
+   one worker per usable core);
+3. the default: serial.
+"""
+
+from .executor import (
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    SerialExecutor,
+    get_executor,
+    in_worker,
+    resolve_workers,
+    shutdown_executors,
+)
+from .shm import SHM_MIN_BYTES
+
+__all__ = [
+    "Executor",
+    "ExecutorError",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "get_executor",
+    "in_worker",
+    "resolve_workers",
+    "shutdown_executors",
+    "SHM_MIN_BYTES",
+]

@@ -1,0 +1,222 @@
+"""Executor abstraction: serial inline execution vs a persistent pool.
+
+Work units handed to :meth:`Executor.run_batch` must be *pure* top-level
+functions of their arguments (no fault-injection draws, no clock state) —
+the executor guarantees only that every unit runs exactly once and that
+results come back **in task order**, which is what makes ``workers=N``
+bit-identical to ``workers=1``.
+
+:class:`ProcessExecutor` keeps one ``concurrent.futures``
+process pool alive across batches (pool spin-up costs more than a whole
+SUMMA stage), re-establishes the process-global fast-path flag in every
+worker per batch (so ``REPRO_PERF=0`` and ``set_fast_paths`` changes after
+pool creation still propagate), and ships CSC blocks through the
+shared-memory transport of :mod:`repro.parallel.shm`.
+
+Nested parallelism is guarded: inside a worker, :func:`get_executor`
+always returns the serial executor, so a parallelized kernel calling
+another parallelized kernel degrades to inline execution instead of
+forking a pool-per-worker fan-out.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_all_start_methods, get_context
+
+from ..perf import dispatch
+from . import shm
+
+#: True inside a pool worker (set by the pool initializer, inherited by
+#: nothing else) — the nested-parallelism guard.
+_IN_WORKER = False
+
+
+class ExecutorError(RuntimeError):
+    """A parallel batch could not complete (e.g. a worker died)."""
+
+
+def in_worker() -> bool:
+    """True when this process is an executor pool worker."""
+    return _IN_WORKER
+
+
+def resolve_workers(workers=None) -> int:
+    """Resolve a worker count: explicit value > ``REPRO_WORKERS`` > 1.
+
+    ``"auto"`` (or 0) means one worker per usable core.  Anything that is
+    not a non-negative integer or ``"auto"`` raises ``ValueError``.
+    """
+    if workers is None:
+        workers = os.environ.get("REPRO_WORKERS", "").strip() or 1
+    if isinstance(workers, str):
+        if workers.lower() == "auto":
+            workers = 0
+        else:
+            try:
+                workers = int(workers)
+            except ValueError:
+                raise ValueError(
+                    f"workers must be a non-negative integer or 'auto', "
+                    f"got {workers!r}"
+                ) from None
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:  # auto
+        try:
+            workers = len(os.sched_getaffinity(0))
+        except AttributeError:  # platforms without affinity masks
+            workers = os.cpu_count() or 1
+    return max(1, workers)
+
+
+class SerialExecutor:
+    """Inline execution — the identity backend, zero overhead."""
+
+    workers = 1
+
+    def run_batch(self, fn, tasks):
+        """Run ``fn(*task)`` for every task, in order."""
+        return [fn(*task) for task in tasks]
+
+    def close(self):
+        pass
+
+    def __repr__(self):
+        return "SerialExecutor()"
+
+
+def _worker_init(fast: bool) -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+    shm.reset_after_fork()  # segments stay owned by the parent
+    dispatch.set_fast_paths(fast)
+
+
+def _run_task(payload):
+    """Pool entry point: import args, sync global state, run, export."""
+    fn, args, fast = payload
+    if dispatch.enabled() != fast:
+        dispatch.set_fast_paths(fast)
+    return shm.export_result(fn(*shm.import_value(args)))
+
+
+class ProcessExecutor:
+    """A persistent ``workers``-process pool with shared-memory transport.
+
+    The pool is created lazily on the first batch and reused until
+    :meth:`close`; a batch after ``close`` (or after a worker crash broke
+    the pool) transparently starts a fresh pool.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 2:
+            raise ValueError(
+                f"ProcessExecutor needs >= 2 workers, got {workers} "
+                "(use SerialExecutor)"
+            )
+        self.workers = workers
+        self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            method = (
+                "fork" if "fork" in get_all_start_methods() else "spawn"
+            )
+            if method == "fork":
+                # Start the resource tracker *before* forking so every
+                # worker inherits the same tracker process.  Otherwise a
+                # pool forked before the first segment exists leaves each
+                # worker to spawn a private tracker whose registrations
+                # the parent's unlinks never retire (exit-time ENOENT
+                # warnings).
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=get_context(method),
+                initializer=_worker_init,
+                initargs=(dispatch.enabled(),),
+            )
+        return self._pool
+
+    def run_batch(self, fn, tasks):
+        """Run ``fn(*task)`` for every task across the pool, in order.
+
+        ``fn`` must be a module-level function.  CSC matrices inside the
+        task tuples travel through shared memory; results are gathered in
+        task order, so downstream consumption is deterministic.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        fast = dispatch.enabled()
+        payloads = [
+            (fn, shm.export_value(task), fast) for task in tasks
+        ]
+        pool = self._ensure_pool()
+        try:
+            results = list(pool.map(_run_task, payloads))
+        except BrokenProcessPool as exc:
+            # A worker died (OOM-killed, segfault, os._exit) — the pool is
+            # unusable; drop it so the next batch starts fresh, and
+            # surface a diagnosable error instead of a hung run.
+            self._pool = None
+            raise ExecutorError(
+                f"a pool worker died while running "
+                f"{getattr(fn, '__name__', fn)!r} over {len(tasks)} "
+                f"task(s); the pool has been discarded and will restart "
+                f"on the next batch (retry with REPRO_WORKERS=1 to "
+                f"bisect)"
+            ) from exc
+        return [shm.import_result(r) for r in results]
+
+    def close(self):
+        """Shut the pool down; the executor stays usable (lazy restart)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __repr__(self):
+        state = "live" if self._pool is not None else "idle"
+        return f"ProcessExecutor(workers={self.workers}, {state})"
+
+
+#: ``Executor`` is a structural protocol: anything with ``.workers``,
+#: ``.run_batch`` and ``.close`` (both classes above satisfy it).
+Executor = SerialExecutor | ProcessExecutor
+
+_SERIAL = SerialExecutor()
+_process_executors: dict[int, ProcessExecutor] = {}
+
+
+def get_executor(workers=None):
+    """The executor for a requested worker count (pools are cached).
+
+    Serial when the resolved count is 1 **or** when called from inside a
+    pool worker (the nested-parallelism guard).
+    """
+    count = resolve_workers(workers)
+    if count <= 1 or _IN_WORKER:
+        return _SERIAL
+    ex = _process_executors.get(count)
+    if ex is None:
+        ex = _process_executors[count] = ProcessExecutor(count)
+    return ex
+
+
+def shutdown_executors() -> None:
+    """Close every cached pool and unlink live transport segments."""
+    if _IN_WORKER:  # inherited pools and segments belong to the parent
+        return
+    for ex in _process_executors.values():
+        ex.close()
+    shm.shutdown_transport()
+
+
+atexit.register(shutdown_executors)

@@ -1,0 +1,95 @@
+"""The work units the executor fans out.
+
+Every function here is a *pure* top-level function of real matrices (the
+transport layer has already materialized shared-memory handles by the time
+they run): no fault-injection draws, no simulated-clock access, no global
+accumulation.  That purity is what lets the engine run them in any process
+and still guarantee bit-identical results — all modeled accounting happens
+afterwards, serially, in the parent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sparse import CSCMatrix, hstack_csc
+
+#: Below this many flops a one-shot SpGEMM beats any fan-out: the slab
+#: export/attach round-trips would dominate.  Calibrated against the
+#: shared-memory transport cost (~1 ms/batch), not the kernel.
+PARALLEL_MIN_FLOPS = 1 << 21
+
+
+def local_multiply(a: CSCMatrix, b: CSCMatrix):
+    """One SUMMA-stage local product: ``(A_ik · B_kj, per-column flops)``.
+
+    Exactly the two numeric quantities the engine's accounting pass needs
+    per ``(i, j)`` block — the pass itself (kernel selection, clock
+    charges, fault draws, merge events) stays in the parent.
+    """
+    from ..spgemm.esc import spgemm_esc
+    from ..summa.engine import _per_column_flops
+
+    product = spgemm_esc(a, b)
+    per_col = _per_column_flops(a.column_lengths(), b)
+    return product, per_col
+
+
+def prune_block_column(blocks: list, options):
+    """Prune one processor column's blocks with the §II protocol."""
+    from ..mcl.distributed_prune import distributed_prune_block_column
+
+    return distributed_prune_block_column(blocks, options)
+
+
+def spgemm_slab(kind: str, a: CSCMatrix, b_slab: CSCMatrix) -> CSCMatrix:
+    """One column slab of ``A·B`` under the named kernel family."""
+    if kind == "esc":
+        from ..spgemm.esc import spgemm_esc
+
+        return spgemm_esc(a, b_slab)
+    if kind == "hash":
+        from ..spgemm.hashspgemm import spgemm_hash
+
+        return spgemm_hash(a, b_slab)
+    raise ValueError(f"unknown slab kernel {kind!r}")
+
+
+def parallel_spgemm_columns(
+    executor, kind: str, a: CSCMatrix, b: CSCMatrix
+) -> CSCMatrix:
+    """``A·B`` by fanning near-even column slabs of B across the executor.
+
+    Output columns of an SpGEMM are independent, and both kernel families
+    accumulate strictly within a column, so stitching the slab products
+    back together in slab order is bit-identical to the one-shot call.
+    """
+    w = executor.workers
+    bounds = _slab_bounds(b.ncols, w)
+    slabs = [
+        (kind, a, b.column_slab(lo, hi)) for lo, hi in bounds if hi > lo
+    ]
+    parts = executor.run_batch(spgemm_slab, slabs)
+    return hstack_csc(parts)
+
+
+def _slab_bounds(ncols: int, parts: int) -> list[tuple[int, int]]:
+    """Near-even column ranges, one per requested part."""
+    parts = max(1, min(parts, ncols))
+    cuts = np.linspace(0, ncols, parts + 1).astype(int)
+    return [(int(cuts[i]), int(cuts[i + 1])) for i in range(parts)]
+
+
+def probe_state():
+    """Report the worker-side global state (tests / diagnostics)."""
+    import os
+
+    from ..perf import dispatch
+    from .executor import get_executor, in_worker
+
+    return {
+        "pid": os.getpid(),
+        "in_worker": in_worker(),
+        "fast_paths": dispatch.enabled(),
+        "nested_executor": type(get_executor(4)).__name__,
+    }

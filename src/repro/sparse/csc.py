@@ -24,7 +24,12 @@ class CSCMatrix:
     holds row ids.
     """
 
-    __slots__ = ("shape", "indptr", "indices", "data", "_lens", "_memo")
+    #: ``__weakref__`` lets the parallel layer's shared-memory transport
+    #: tie a segment's lifetime to the matrix it exports (weakref.finalize).
+    __slots__ = (
+        "shape", "indptr", "indices", "data", "_lens", "_memo",
+        "__weakref__",
+    )
 
     def __init__(self, shape, indptr, indices, data, *, check: bool = True):
         nrows, ncols = int(shape[0]), int(shape[1])

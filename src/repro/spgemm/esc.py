@@ -41,6 +41,21 @@ def spgemm_esc(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
     if a.nnz == 0 or b.nnz == 0:
         return CSCMatrix.empty(shape)
     if dispatch.enabled():
+        from ..parallel import get_executor
+
+        ex = get_executor()
+        if ex.workers > 1 and b.ncols >= 2 * ex.workers:
+            from ..parallel.work import (
+                PARALLEL_MIN_FLOPS,
+                parallel_spgemm_columns,
+            )
+
+            if expansion_size(a, b) >= PARALLEL_MIN_FLOPS:
+                # Output columns are independent and each sums strictly
+                # within itself, so slab-wise fan-out is bit-identical
+                # (inside a pool worker get_executor is serial — no
+                # nested fan-out).
+                return parallel_spgemm_columns(ex, "esc", a, b)
         return spgemm_esc_fast(a, b)
 
     a_col_lens = a.column_lengths()

@@ -68,6 +68,19 @@ def spgemm_hash(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
     use_spa = dispatch.enabled()
     if use_spa:
         a_col_lens = a.column_lengths()
+        from ..parallel import get_executor
+
+        ex = get_executor()
+        if ex.workers > 1 and b.ncols >= 2 * ex.workers:
+            from ..parallel.work import (
+                PARALLEL_MIN_FLOPS,
+                parallel_spgemm_columns,
+            )
+
+            if int(a_col_lens[b.indices].sum()) >= PARALLEL_MIN_FLOPS:
+                # Column-independent kernel: slab fan-out is bit-identical
+                # (workers run serially inside — no nested fan-out).
+                return parallel_spgemm_columns(ex, "hash", a, b)
         arena = global_arena()
         scratch = arena.buffer("hash:scratch", a.nrows, np.float64)
         scratch[:] = 0.0

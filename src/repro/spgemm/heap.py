@@ -19,12 +19,21 @@ import heapq
 import numpy as np
 
 from ..errors import ShapeError
+from ..perf import dispatch
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
 
 
 def spgemm_heap(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
-    """Multiply ``C = A·B`` (both CSC) with per-column k-way heap merges."""
+    """Multiply ``C = A·B`` (both CSC) with per-column k-way heap merges.
+
+    Routes to the dense-scatter ESC fast path when fast paths are enabled
+    — bit-identical output: the heap pops in ``(row, cursor)`` order, and
+    a cursor's id is its B-nonzero's position, so every output entry sums
+    its contributions in exactly the element order ESC's stable
+    expand–compress uses (a cursor's own duplicates pop in position order
+    because only one entry per cursor is in the heap at a time).
+    """
     if a.ncols != b.nrows:
         raise ShapeError(
             f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
@@ -33,6 +42,10 @@ def spgemm_heap(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
     if a.nnz == 0 or b.nnz == 0:
         return CSCMatrix.empty(shape)
     a = a.sorted() if not a.has_sorted_indices() else a
+    if dispatch.enabled():
+        from ..perf.esc import spgemm_esc_fast
+
+        return spgemm_esc_fast(a, b)
     a_indptr, a_indices, a_data = a.indptr, a.indices, a.data
 
     out_cols: list[np.ndarray] = []
@@ -65,7 +78,10 @@ def spgemm_heap(a: CSCMatrix, b: CSCMatrix) -> CSCMatrix:
                 vals_j[-1] += contrib
             else:
                 rows_j.append(row)
-                vals_j.append(contrib)
+                # Seed from the additive identity, like the hash table's
+                # `get(r, 0.0) + v` and the ESC bincount scatter — this
+                # only matters for the sign of zero (-0.0 -> +0.0).
+                vals_j.append(0.0 + contrib)
             pos, end, _ = cursors[cid]
             if pos < end:
                 cursors[cid][0] = pos + 1

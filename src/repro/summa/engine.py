@@ -249,6 +249,8 @@ def summa_multiply(
     phase_callback=None,
     devices: dict[int, list[GPUDevice]] | None = None,
     injector=None,
+    executor=None,
+    workers: int | str | None = None,
 ) -> SummaResult:
     """Compute ``C = A·B`` on the grid, per the configured algorithm.
 
@@ -256,6 +258,14 @@ def summa_multiply(
     output slabs (dict ``(i, j) -> CSCMatrix``) and returns the (pruned)
     slabs to keep; rank clocks may be charged inside the callback (the
     HipMCL driver charges pruning there).
+
+    ``executor`` (or ``workers``, resolved through
+    :func:`repro.parallel.get_executor`) selects the wall-clock backend:
+    with a process executor, each stage's independent ``(i, j)`` local
+    products are computed across the pool *before* the serial accounting
+    pass consumes them in the usual ``(i, j)`` order — modeled clocks,
+    traces, and fault draws are untouched, so ``workers=N`` is
+    bit-identical to ``workers=1``.
 
     ``injector`` threads fault injection into the engine-created devices
     and the CPU hash kernel.  Faulted kernels demote along the ladder
@@ -279,6 +289,13 @@ def summa_multiply(
         raise ValueError(f"phases must be >= 1, got {phases}")
     q = grid.q
     spec = config.spec
+    if executor is None:
+        from ..parallel import get_executor
+
+        executor = get_executor(workers)
+    # Real-kernel runs recompute products with the genuinely selected
+    # kernel inside the accounting pass, so pre-batching would be wasted.
+    parallel_stages = executor.workers > 1 and not config.run_real_kernels
     if devices is None and config.use_gpu:
         devices = {
             r: [
@@ -300,17 +317,21 @@ def summa_multiply(
 
     # Pre-slice B's blocks per phase (local column ranges align across a
     # block column because widths are identical within it).  Slabs are
-    # memoized on their source block: the merge-state setup and the stage
-    # loop ask for the same slices, and a matrix reused across SUMMA calls
-    # keeps its slices.
-    def phase_slab(k: int, j: int, p: int) -> CSCMatrix:
+    # memoized on their source block — together with their broadcast byte
+    # count, so re-expanding the same matrix (every MCL iteration revisits
+    # every stage) never recomputes the slice *or* its nonzero-column scan.
+    def phase_slab(k: int, j: int, p: int) -> tuple[CSCMatrix, int]:
         from ..perf.cache import memo
 
         blk = dist_b.block(k, j)
         lo, hi = _phase_bounds(blk.ncols, phases, p)
-        return memo(
-            blk, ("slab", lo, hi), lambda: blk.column_slab(lo, hi)
-        )
+
+        def build():
+            slab = blk.column_slab(lo, hi)
+            nzc = int(np.count_nonzero(slab.column_lengths()))
+            return slab, 16 * slab.nnz + 16 * nzc + 8
+
+        return memo(blk, ("slab", lo, hi), build)
 
     for p in range(phases):
         merge_states = {
@@ -326,7 +347,12 @@ def summa_multiply(
         }
         input_bytes_peak = np.zeros((q, q), dtype=np.int64)
         for k in range(q):
-            slabs = [phase_slab(k, j, p) for j in range(q)]
+            slabs: list[CSCMatrix] = []
+            slab_bytes: list[int] = []
+            for j in range(q):
+                slab, nbytes = phase_slab(k, j, p)
+                slabs.append(slab)
+                slab_bytes.append(nbytes)
             # -- broadcasts: A along rows, B along columns ------------------
             a_bytes_row = np.zeros(q, dtype=np.int64)
             b_bytes_col = np.zeros(q, dtype=np.int64)
@@ -341,9 +367,7 @@ def summa_multiply(
                         (grid.rank_of(i, k), p, k, "bcast_A", start, end)
                     )
             for j in range(q):
-                slab = slabs[j]
-                nzc = int(np.count_nonzero(slab.column_lengths()))
-                nbytes = 16 * slab.nnz + 16 * nzc + 8
+                nbytes = slab_bytes[j]
                 b_bytes_col[j] = nbytes
                 members = grid.col_members(j)
                 start = max(comm.clocks[r].cpu.free_at for r in members)
@@ -358,6 +382,28 @@ def summa_multiply(
                 out=input_bytes_peak,
             )
             # -- local multiplies ---------------------------------------------
+            # With a process executor, compute every (i, j) product of the
+            # stage across the pool up front; the accounting pass below
+            # then consumes them in the same deterministic (i, j) order it
+            # would have computed them in.  Serially, the batch stays None
+            # and the pass computes inline — byte-for-byte the old path.
+            stage_products = None
+            if parallel_stages:
+                from ..parallel.work import local_multiply
+
+                pairs = [
+                    (i, j)
+                    for i in range(q)
+                    if dist_a.block(i, k).nnz
+                    for j in range(q)
+                    if slabs[j].nnz
+                ]
+                if pairs:
+                    outs = executor.run_batch(
+                        local_multiply,
+                        [(dist_a.block(i, k), slabs[j]) for i, j in pairs],
+                    )
+                    stage_products = dict(zip(pairs, outs))
             for i in range(q):
                 a_blk = dist_a.block(i, k)
                 a_col_lens = a_blk.column_lengths()
@@ -368,8 +414,11 @@ def summa_multiply(
                     state = merge_states[(i, j)]
                     if a_blk.nnz == 0 or b_blk.nnz == 0:
                         continue
-                    product = spgemm_esc(a_blk, b_blk)
-                    per_col = _per_column_flops(a_col_lens, b_blk)
+                    if stage_products is not None:
+                        product, per_col = stage_products[(i, j)]
+                    else:
+                        product = spgemm_esc(a_blk, b_blk)
+                        per_col = _per_column_flops(a_col_lens, b_blk)
                     profile = _profile_from_per_col(
                         per_col, a_blk, b_blk, product.nnz
                     )

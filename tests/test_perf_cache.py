@@ -237,9 +237,11 @@ def test_comparison_handles_zero_baseline():
 class TestBaselineValidation:
     def _valid(self):
         return {
-            "schema": 1,
+            "schema": 2,
             "end_to_end": {"net": {"seconds": 1.0}},
             "micro": {"esc": {"seconds": 0.01}},
+            "scaling": {"net": {"w1": {"seconds": 1.0},
+                                "w4": {"seconds": 0.5}}},
         }
 
     def test_valid_report_accepted(self, tmp_path):
@@ -268,10 +270,12 @@ class TestBaselineValidation:
 
     def test_malformed_sections_enumerated(self):
         problems = validate_report(
-            {"schema": 1, "end_to_end": [], "micro": {"esc": {"ms": 3}}}
+            {"schema": 2, "end_to_end": [], "micro": {"esc": {"ms": 3}},
+             "scaling": {"net": {"w2": {"ms": 3}}}}
         )
         assert any("end_to_end" in p for p in problems)
         assert any("micro/esc" in p for p in problems)
+        assert any("scaling/net/w2" in p for p in problems)
         assert validate_report([1, 2]) != []
 
     @pytest.mark.parametrize(

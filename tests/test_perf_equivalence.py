@@ -101,6 +101,42 @@ def test_hash_spa_bit_identical(pair):
     assert_same_csc(fast, slow)
 
 
+@given(multipliable_pairs())
+@settings(max_examples=60, deadline=None)
+def test_heap_fast_bit_identical(pair):
+    # The heap kernel's fast twin is the sorted-A ESC fast path: the heap
+    # pops in (row, cursor) order, which is exactly ESC's stable
+    # expansion order, so the per-entry summation order coincides.
+    from repro.spgemm.heap import spgemm_heap
+
+    a, b = pair
+    with fast_paths(False):
+        slow = spgemm_heap(a, b)
+    with fast_paths(True):
+        fast = spgemm_heap(a, b)
+    assert_same_csc(fast, slow)
+
+
+@given(signed_matrices(max_dim=24))
+@settings(max_examples=60, deadline=None)
+def test_dcsc_conversion_fast_bit_identical(mat):
+    from repro.sparse import DCSCMatrix
+
+    with fast_paths(False):
+        slow = DCSCMatrix.from_csc(mat)
+    with fast_paths(True):
+        fast = DCSCMatrix.from_csc(mat)
+        assert DCSCMatrix.from_csc(mat) is fast  # memoized on the source
+    assert fast.shape == slow.shape
+    assert np.array_equal(fast.jc, slow.jc)
+    assert np.array_equal(fast.cp, slow.cp)
+    assert np.array_equal(fast.ir, slow.ir)
+    assert bits_equal(fast.num, slow.num)
+    # Zero-copy direction: the fast twin shares the O(nnz) arrays.
+    assert fast.ir is mat.indices and fast.num is mat.data
+    assert slow.ir is not mat.indices
+
+
 def test_hash_spa_path_actually_engages():
     # Dense enough that column flops exceed SPA_FLOPS_THRESHOLD.
     from repro.sparse import random_csc

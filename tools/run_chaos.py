@@ -52,6 +52,12 @@ def main(argv=None) -> int:
         "--nodes", type=int, default=16,
         help="virtual node count (perfect square, default 16)",
     )
+    parser.add_argument(
+        "--workers", default=None, metavar="N",
+        help="worker processes for the faulted runs ('auto' = one per "
+        "core); the baseline stays serial, so a pass also certifies the "
+        "parallel backend's bit-identity under fault recovery",
+    )
     args = parser.parse_args(argv)
     if args.plans < 1:
         print("error: --plans must be >= 1", file=sys.stderr)
@@ -81,7 +87,7 @@ def main(argv=None) -> int:
     failures = 0
     for seed in range(args.seed0, args.seed0 + args.plans):
         plan = FaultPlan.chaos(seed, intensity=args.intensity)
-        res = hipmcl(net.matrix, opts, cfg, faults=plan)
+        res = hipmcl(net.matrix, opts, cfg, faults=plan, workers=args.workers)
         injected = sum(res.faults_injected.values())
         diffs = divergence(baseline, res)
         slowdown = (

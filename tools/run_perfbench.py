@@ -3,11 +3,15 @@
 
 Record a new baseline (writes BENCH_PR<k>.json at the repo root):
 
-    PYTHONPATH=src python tools/run_perfbench.py --pr 1
+    PYTHONPATH=src python tools/run_perfbench.py --pr 3
 
 Gate a change against the committed baseline (exit 1 on >25 % slowdown):
 
     PYTHONPATH=src python tools/run_perfbench.py --check
+
+Benchmark the process-parallel execution backend:
+
+    PYTHONPATH=src python tools/run_perfbench.py --workers 4 --no-scaling
 
 See src/repro/bench/perfbench.py for what is measured.
 """
@@ -28,6 +32,7 @@ from repro.bench.perfbench import (  # noqa: E402
     compare_reports,
     load_baseline,
     regressions,
+    remeasure_into,
     run_perfbench,
     save_report,
 )
@@ -36,16 +41,26 @@ from repro.bench.perfbench import (  # noqa: E402
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--pr", type=int, default=1,
-        help="PR number k for the BENCH_PR<k>.json output name (default 1)",
+        "--pr", type=int, default=3,
+        help="PR number k for the BENCH_PR<k>.json output name (default 3)",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
         help="explicit output path (overrides --pr)",
     )
     parser.add_argument(
-        "--baseline", type=Path, default=ROOT / "BENCH_PR1.json",
-        help="baseline report to compare against (default BENCH_PR1.json)",
+        "--baseline", type=Path, default=ROOT / "BENCH_PR3.json",
+        help="baseline report to compare against (default BENCH_PR3.json)",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="N",
+        help="execution backend for the end-to-end runs ('auto' = one "
+        "per core; default: REPRO_WORKERS or serial); the scaling sweep "
+        "always pins its own counts",
+    )
+    parser.add_argument(
+        "--no-scaling", action="store_true",
+        help="skip the worker-scaling sweep (three extra end-to-end runs)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -58,8 +73,8 @@ def main(argv=None) -> int:
         f"(default {DEFAULT_TOLERANCE})",
     )
     parser.add_argument(
-        "--repeats", type=int, default=3,
-        help="micro-benchmark repeats, best-of (default 3)",
+        "--repeats", type=int, default=5,
+        help="micro-benchmark repeats, best-of (default 5)",
     )
     args = parser.parse_args(argv)
 
@@ -73,7 +88,12 @@ def main(argv=None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
-    report = run_perfbench(repeats=args.repeats, log=print)
+    report = run_perfbench(
+        repeats=args.repeats,
+        log=print,
+        workers=args.workers,
+        scaling=not args.no_scaling,
+    )
 
     out = args.output
     if out is None and not args.check:
@@ -101,6 +121,22 @@ def main(argv=None) -> int:
             f"now {r.current * 1e3:9.1f}ms  x{r.ratio:5.2f}{flag}"
         )
     bad = regressions(report, baseline, args.tolerance)
+    if bad:
+        # Shared machines produce one-shot outliers; re-measure only the
+        # apparent regressions and keep the better observation before
+        # declaring a failure.
+        print(f"re-measuring {len(bad)} apparent regression(s) ...")
+        for c in bad:
+            if remeasure_into(report, c.name, repeats=args.repeats,
+                              workers=args.workers):
+                cur = compare_reports(report, baseline)
+                row = next(r for r in cur if r.name == c.name)
+                print(
+                    f"{c.name:<{width}}  base {row.baseline * 1e3:9.1f}ms  "
+                    f"now {row.current * 1e3:9.1f}ms  x{row.ratio:5.2f}"
+                    f"{' <-- REGRESSION' if row.regressed(args.tolerance) else ' (noise)'}"
+                )
+        bad = regressions(report, baseline, args.tolerance)
     if bad:
         print(
             f"FAIL: {len(bad)} benchmark(s) regressed more than "
