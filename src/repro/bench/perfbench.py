@@ -7,16 +7,22 @@ regressions in the numeric kernels are caught in review.  It runs
 * end-to-end HipMCL on three catalog networks,
 * six microbenchmarks, one per fast-path kernel family
   (esc, hash, merge, prune, estimator, components), and
-* a worker-scaling sweep: the densest network end-to-end under the
-  process-parallel execution backend at 1, 2 and 4 workers,
+* a worker-scaling sweep: the densest network end-to-end under each
+  pool execution backend (threads and processes) at 1, 2 and 4 workers,
 
 and emits a JSON report comparable against a committed baseline
 (``BENCH_PR<k>.json`` at the repo root).  ``tools/run_perfbench.py`` is
 the CLI; ``--check`` exits nonzero when any benchmark is more than
 ``tolerance`` (default 25 %) slower than the baseline.  Every scaling
-entry compares only against the *same worker count* in the baseline, so
-the gate stays meaningful on boxes where pool overhead exceeds the
-parallel win (e.g. single-core CI runners).
+entry compares only against the *same backend and worker count* in the
+baseline, so the gate stays meaningful on boxes where pool overhead
+exceeds the parallel win (e.g. single-core CI runners).
+
+Schema history: version 3 added the ``backend``/``overlap`` report
+fields and nested the scaling section per backend
+(``scaling/{net}/{backend}/w{N}``).  Version-2 baselines (process-only
+scaling, ``scaling/{net}/w{N}``) remain comparable: a schema-3 report
+flattens its process-backend scaling rows under the legacy names too.
 
 Wall-clock on shared machines is noisy: every measurement is the best of
 ``repeats`` runs after one warmup, and the comparison uses a generous
@@ -37,12 +43,15 @@ import numpy as np
 #: per-kernel regressions; isom100-3-xs is the densest of the three).
 BENCH_NETS = ("archaea-xs", "eukarya-xs", "isom100-3-xs")
 
-#: The worker-scaling sweep: net × worker counts (the densest bench net,
-#: where the SUMMA stage batches are fattest).
+#: The worker-scaling sweep: net × backends × worker counts (the densest
+#: bench net, where the SUMMA stage batches are fattest).
 SCALING_NET = "isom100-3-xs"
 SCALING_WORKERS = (1, 2, 4)
+SCALING_BACKENDS = ("thread", "process")
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
+#: Baseline schema versions this harness can still compare against.
+SUPPORTED_SCHEMAS = (2, 3)
 
 #: Fractional slowdown vs the baseline that counts as a regression.
 DEFAULT_TOLERANCE = 0.25
@@ -65,7 +74,11 @@ def _best_of(fn, repeats: int) -> float:
 
 
 def bench_end_to_end(
-    net_name: str, repeats: int = 1, workers: int | str | None = None
+    net_name: str,
+    repeats: int = 1,
+    workers: int | str | None = None,
+    backend: str | None = None,
+    overlap: bool | str | None = None,
 ) -> dict:
     """Time one full fast-path HipMCL run on a catalog network."""
     from ..mcl.hipmcl import HipMCLConfig, hipmcl
@@ -81,7 +94,10 @@ def bench_end_to_end(
     result = {}
 
     def run():
-        result["res"] = hipmcl(net.matrix, opts, cfg, workers=workers)
+        result["res"] = hipmcl(
+            net.matrix, opts, cfg,
+            workers=workers, backend=backend, overlap=overlap,
+        )
 
     seconds = _best_of(run, repeats)
     res = result["res"]
@@ -177,21 +193,26 @@ def run_perfbench(
     log=None,
     workers: int | str | None = None,
     scaling: bool = True,
+    backend: str | None = None,
+    overlap: bool | str | None = None,
 ) -> dict:
     """Run every benchmark; returns the JSON-serializable report.
 
-    ``workers`` selects the execution backend for the end-to-end runs
-    (recorded in the report); the scaling sweep always pins its own
-    counts.  ``scaling=False`` skips the sweep (it costs three extra
-    end-to-end runs of :data:`SCALING_NET`).
+    ``workers``/``backend``/``overlap`` select the execution backend for
+    the end-to-end runs (resolved values are recorded in the report);
+    the scaling sweep pins its own counts and sweeps both pool backends.
+    ``scaling=False`` skips the sweep (it costs six extra end-to-end
+    runs of :data:`SCALING_NET`).
     """
-    from ..parallel import resolve_workers
+    from ..parallel import resolve_backend, resolve_overlap, resolve_workers
     from ..perf import dispatch
 
     report = {
         "schema": SCHEMA_VERSION,
         "fast_paths": dispatch.enabled(),
         "workers": resolve_workers(workers),
+        "backend": resolve_backend(backend),
+        "overlap": resolve_overlap(overlap),
         "numpy": np.__version__,
         "python": platform.python_version(),
         "end_to_end": {},
@@ -200,7 +221,7 @@ def run_perfbench(
     }
     for net in nets:
         report["end_to_end"][net] = bench_end_to_end(
-            net, repeats=1, workers=workers
+            net, repeats=1, workers=workers, backend=backend, overlap=overlap
         )
         if log:
             log(f"end-to-end {net}: "
@@ -210,14 +231,17 @@ def run_perfbench(
         if log:
             log(f"micro {name}: {report['micro'][name]['seconds'] * 1e3:.1f}ms")
     if scaling:
-        rows = report["scaling"][SCALING_NET] = {}
-        for w in SCALING_WORKERS:
-            rows[f"w{w}"] = bench_end_to_end(
-                SCALING_NET, repeats=1, workers=w
-            )
-            if log:
-                log(f"scaling {SCALING_NET} workers={w}: "
-                    f"{rows[f'w{w}']['seconds']:.3f}s")
+        per_backend = report["scaling"][SCALING_NET] = {}
+        for be in SCALING_BACKENDS:
+            rows = per_backend[be] = {}
+            for w in SCALING_WORKERS:
+                rows[f"w{w}"] = bench_end_to_end(
+                    SCALING_NET, repeats=1, workers=w, backend=be,
+                    overlap=overlap,
+                )
+                if log:
+                    log(f"scaling {SCALING_NET} {be} workers={w}: "
+                        f"{rows[f'w{w}']['seconds']:.3f}s")
     return report
 
 
@@ -237,6 +261,11 @@ class Comparison:
         return self.ratio > 1.0 + tolerance
 
 
+def _is_scaling_row(row) -> bool:
+    """A leaf scaling entry (``{"seconds": ...}``) vs a backend subtree."""
+    return isinstance(row, dict) and "seconds" in row
+
+
 def _flatten(report: dict) -> dict:
     out = {}
     for net, row in report.get("end_to_end", {}).items():
@@ -244,8 +273,19 @@ def _flatten(report: dict) -> dict:
     for name, row in report.get("micro", {}).items():
         out[f"micro/{name}"] = float(row["seconds"])
     for net, counts in report.get("scaling", {}).items():
-        for wk, row in counts.items():
-            out[f"scaling/{net}/{wk}"] = float(row["seconds"])
+        for key, row in counts.items():
+            if _is_scaling_row(row):
+                # Schema 2: process-only sweep, scaling/{net}/w{N}.
+                out[f"scaling/{net}/{key}"] = float(row["seconds"])
+            else:
+                # Schema 3: per-backend sweep.  The process rows also get
+                # the schema-2 legacy names so a version-2 baseline still
+                # pairs with a version-3 report (and vice versa).
+                for wk, leaf in row.items():
+                    sec = float(leaf["seconds"])
+                    out[f"scaling/{net}/{key}/{wk}"] = sec
+                    if key == "process":
+                        out.setdefault(f"scaling/{net}/{wk}", sec)
     return out
 
 
@@ -292,10 +332,21 @@ def remeasure_into(
             sec = bench_micro(parts[1], repeats=repeats)["seconds"]
             row = report["micro"][parts[1]]
         elif parts[0] == "scaling" and len(parts) == 3:
+            # Legacy schema-2 name: the process-backend sweep.
+            net, wk = parts[1], parts[2]
             sec = bench_end_to_end(
-                parts[1], repeats=1, workers=int(parts[2][1:])
+                net, repeats=1, workers=int(wk[1:]), backend="process"
             )["seconds"]
-            row = report["scaling"][parts[1]][parts[2]]
+            counts = report["scaling"][net]
+            row = counts[wk] if _is_scaling_row(counts.get(wk)) else (
+                counts["process"][wk]
+            )
+        elif parts[0] == "scaling" and len(parts) == 4:
+            net, be, wk = parts[1], parts[2], parts[3]
+            sec = bench_end_to_end(
+                net, repeats=1, workers=int(wk[1:]), backend=be
+            )["seconds"]
+            row = report["scaling"][net][be][wk]
         else:
             return False
     except (KeyError, ValueError):
@@ -337,10 +388,10 @@ def validate_report(report) -> list[str]:
         return [f"top level is {type(report).__name__}, expected an object"]
     problems = []
     schema = report.get("schema")
-    if schema != SCHEMA_VERSION:
+    if schema not in SUPPORTED_SCHEMAS:
         problems.append(
-            f"schema version is {schema!r}, this harness expects "
-            f"{SCHEMA_VERSION}"
+            f"schema version is {schema!r}, this harness supports "
+            f"{list(SUPPORTED_SCHEMAS)}"
         )
     for section in ("end_to_end", "micro"):
         rows = report.get(section)
@@ -363,14 +414,25 @@ def validate_report(report) -> list[str]:
             if not isinstance(counts, dict):
                 problems.append(f"scaling/{net} is not an object")
                 continue
-            for wk, row in counts.items():
-                if not (
-                    isinstance(row, dict)
-                    and isinstance(row.get("seconds"), (int, float))
-                ):
-                    problems.append(
-                        f"scaling/{net}/{wk} lacks a numeric 'seconds' field"
-                    )
+            for key, row in counts.items():
+                if _is_scaling_row(row):
+                    leaves = {f"scaling/{net}/{key}": row}
+                elif isinstance(row, dict):
+                    leaves = {
+                        f"scaling/{net}/{key}/{wk}": leaf
+                        for wk, leaf in row.items()
+                    }
+                else:
+                    problems.append(f"scaling/{net}/{key} is not an object")
+                    continue
+                for leaf_name, leaf in leaves.items():
+                    if not (
+                        isinstance(leaf, dict)
+                        and isinstance(leaf.get("seconds"), (int, float))
+                    ):
+                        problems.append(
+                            f"{leaf_name} lacks a numeric 'seconds' field"
+                        )
     return problems
 
 

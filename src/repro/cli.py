@@ -94,6 +94,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "('auto' = one per core; distributed modes only; results are "
         "bit-identical for any value; default: REPRO_WORKERS or serial)",
     )
+    clu.add_argument(
+        "--backend", choices=["serial", "thread", "process"],
+        help="wall-clock pool flavor for --workers: threads (zero-copy) "
+        "or processes (shared-memory transport); results are "
+        "bit-identical either way (default: REPRO_BACKEND or process)",
+    )
+    clu.add_argument(
+        "--overlap", action="store_true", default=None,
+        help="pipeline SUMMA stages: prefetch the next stage's inputs "
+        "and overlap its local multiplies with the current stage's "
+        "merges (needs --workers > 1; bit-identical; default: "
+        "REPRO_OVERLAP or off)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -156,6 +169,8 @@ def _cmd_cluster(args) -> int:
             (args.resume_from, "--resume-from"),
             (args.fault_seed, "--fault-seed"),
             (args.workers, "--workers"),
+            (args.backend, "--backend"),
+            (args.overlap, "--overlap"),
         ):
             if flag is not None:
                 print(
@@ -201,6 +216,8 @@ def _cmd_cluster(args) -> int:
                 resume_from=args.resume_from,
                 checkpoint_dir=args.checkpoint_dir,
                 workers=args.workers,
+                backend=args.backend,
+                overlap=args.overlap,
             )
         except ConvergenceError as exc:
             print(f"error: {exc}", file=sys.stderr)

@@ -455,6 +455,8 @@ def hipmcl(
     checkpoint_dir=None,
     checkpoint_every: int = 1,
     workers: int | str | None = None,
+    backend: str | None = None,
+    overlap: bool | str | None = None,
 ) -> HipMCLResult:
     """Run distributed MCL on the simulated machine and cluster ``matrix``.
 
@@ -480,13 +482,20 @@ def hipmcl(
     checkpoint_dir / checkpoint_every:
         Write a checksum-validated checkpoint every ``checkpoint_every``
         completed (non-final) iterations into ``checkpoint_dir``.
-    workers:
-        Wall-clock execution backend (see :mod:`repro.parallel`): the
-        number of worker processes to fan independent SUMMA local
-        products and per-column prunes across.  Defaults to the
-        ``REPRO_WORKERS`` environment variable, else serial.  Any value
-        produces bit-identical results — parallelism relocates
-        computation without reordering any reduction.
+    workers / backend / overlap:
+        Wall-clock execution knobs (see :mod:`repro.parallel`); none of
+        them enters the checkpoint fingerprint, so a run checkpointed
+        under one backend resumes under any other.  ``workers`` is the
+        number of pool workers to fan independent SUMMA local products
+        and per-column prunes across (default ``REPRO_WORKERS``, else
+        serial); ``backend`` picks the pool flavor — ``"thread"``
+        (zero-copy, GIL-released kernels) or ``"process"`` (shared-memory
+        transport) — defaulting to ``REPRO_BACKEND``, else processes;
+        ``overlap`` arms the engine's pipelined stage-overlap scheduler
+        (default ``REPRO_OVERLAP``, else off), bounded by the configured
+        memory budget.  Every combination produces bit-identical
+        results — parallelism relocates computation without reordering
+        any reduction.
     """
     wall_start = _time.perf_counter()
     options = options or MclOptions()
@@ -499,7 +508,7 @@ def hipmcl(
     grid = ProcessGrid.for_processes(config.processes)
     from ..parallel import get_executor
 
-    executor = get_executor(workers)
+    executor = get_executor(workers, backend)
     injector = as_injector(faults)
     policy = config.resilience
     if policy is None and injector is not None:
@@ -731,6 +740,8 @@ def hipmcl(
                 phase_callback=prune_callback,
                 injector=summa_injector,
                 executor=executor,
+                overlap=overlap,
+                overlap_budget_bytes=config.memory_budget_bytes,
             )
             for k, v in summa_res.kernel_selections.items():
                 kernel_selections[k] = kernel_selections.get(k, 0) + v

@@ -1,49 +1,76 @@
-"""Multicore execution layer: process-parallel batches of independent work.
+"""Multicore execution layer: parallel batches of independent work.
 
 The simulator's *modeled* concurrency (pipelined Sparse SUMMA overlapping
 stage-k multiplies with stage-(k+1) broadcasts) runs on simulated clocks;
 this package makes the *wall-clock* scale with cores too.  An
 :class:`~repro.parallel.executor.Executor` fans genuinely independent work
 units — per-block local SpGEMMs, per-block-column prunes, per-column-slab
-kernel batches — across a persistent ``multiprocessing`` pool, moving CSC
-blocks through POSIX shared memory (zero-pickle ``indptr/indices/data``)
-with a pickling fallback for small blocks.
+kernel batches — across a persistent pool.  Two pool kinds implement the
+protocol:
+
+* ``backend="process"`` — a ``multiprocessing`` pool moving CSC blocks
+  through POSIX shared memory (zero-pickle ``indptr/indices/data``) with
+  a pickling fallback for small blocks;
+* ``backend="thread"`` — a thread pool in the parent's address space:
+  zero-copy task passing, shared matrix caches, parallelism from numpy's
+  GIL-released sections.
+
+Both offer an asynchronous ``submit_batch``; the SUMMA engine's overlap
+scheduler (``overlap=True``) uses it to run the stage-k merge in the
+parent concurrently with the stage-(k+1) local multiplies in the pool.
 
 The determinism contract is the same one the fast-path engine and the
-resilience layer pin: ``workers=N`` is **bit-identical** to ``workers=1``.
-Parallelism only relocates computation, never reorders a reduction —
-results are gathered and consumed in the same deterministic ``(i, j)`` /
-column order the serial loop uses, and every fault-injection draw stays in
-the parent process.  See ``docs/performance.md`` ("Execution backends").
+resilience layer pin: every ``(backend, workers, overlap)`` combination
+is **bit-identical** to serial.  Parallelism only relocates computation,
+never reorders a reduction — results are gathered and consumed in the
+same deterministic ``(i, j)`` / column order the serial loop uses, and
+every fault-injection draw stays in the parent.  See
+``docs/performance.md`` ("Execution backends").
 
-Backend selection, in precedence order:
+Backend selection, in precedence order (each axis independently):
 
-1. an explicit ``workers=`` keyword (``hipmcl``, ``summa_multiply``, the
-   benches) / ``--workers`` on the CLI and tools;
-2. the ``REPRO_WORKERS`` environment variable (``"auto"``/``"0"`` means
-   one worker per usable core);
-3. the default: serial.
+1. explicit ``workers=`` / ``backend=`` / ``overlap=`` keywords
+   (``hipmcl``, ``summa_multiply``, the benches) or ``--workers`` /
+   ``--backend`` / ``--overlap`` on the CLI and tools;
+2. the ``REPRO_WORKERS`` / ``REPRO_BACKEND`` / ``REPRO_OVERLAP``
+   environment variables (``REPRO_WORKERS=auto``/``0`` means one worker
+   per usable core);
+3. the defaults: serial execution (one worker), process pools when a
+   count is given without a backend, no stage overlap.
 """
 
 from .executor import (
-    Executor,
+    BACKENDS,
+    BatchHandle,
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
     get_executor,
     in_worker,
+    resolve_backend,
+    resolve_overlap,
     resolve_workers,
     shutdown_executors,
 )
 from .shm import SHM_MIN_BYTES
+from .threads import ThreadExecutor
+
+#: Structural protocol: anything with ``.workers``, ``.run_batch``,
+#: ``.submit_batch`` and ``.close``.
+Executor = SerialExecutor | ThreadExecutor | ProcessExecutor
 
 __all__ = [
+    "BACKENDS",
+    "BatchHandle",
     "Executor",
     "ExecutorError",
     "ProcessExecutor",
     "SerialExecutor",
+    "ThreadExecutor",
     "get_executor",
     "in_worker",
+    "resolve_backend",
+    "resolve_overlap",
     "resolve_workers",
     "shutdown_executors",
     "SHM_MIN_BYTES",

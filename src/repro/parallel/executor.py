@@ -6,23 +6,37 @@ the executor guarantees only that every unit runs exactly once and that
 results come back **in task order**, which is what makes ``workers=N``
 bit-identical to ``workers=1``.
 
-:class:`ProcessExecutor` keeps one ``concurrent.futures``
-process pool alive across batches (pool spin-up costs more than a whole
-SUMMA stage), re-establishes the process-global fast-path flag in every
-worker per batch (so ``REPRO_PERF=0`` and ``set_fast_paths`` changes after
-pool creation still propagate), and ships CSC blocks through the
-shared-memory transport of :mod:`repro.parallel.shm`.
+Three backends satisfy the protocol, selected by the ``backend`` axis
+(explicit argument > ``REPRO_BACKEND`` > ``"process"``):
 
-Nested parallelism is guarded: inside a worker, :func:`get_executor`
-always returns the serial executor, so a parallelized kernel calling
-another parallelized kernel degrades to inline execution instead of
-forking a pool-per-worker fan-out.
+* :class:`SerialExecutor` — inline execution, the identity backend;
+* :class:`~repro.parallel.threads.ThreadExecutor` — a persistent thread
+  pool sharing the parent's address space (zero-copy, no transport; the
+  numpy kernels release the GIL in their hot sections);
+* :class:`ProcessExecutor` — a persistent ``concurrent.futures`` process
+  pool that re-establishes the process-global fast-path flag in every
+  worker per batch (so ``REPRO_PERF=0`` and ``set_fast_paths`` changes
+  after pool creation still propagate), and ships CSC blocks through the
+  shared-memory transport of :mod:`repro.parallel.shm`.
+
+Every backend also offers :meth:`Executor.submit_batch` — the
+*asynchronous* half of the protocol: it returns a :class:`BatchHandle`
+whose :meth:`~BatchHandle.result` gathers the ordered results later.
+The SUMMA overlap scheduler uses it to run the stage-k merge in the
+parent concurrently with the stage-(k+1) local multiplies in the pool.
+
+Nested parallelism is guarded for **both** pool kinds: inside a process
+worker *or* a thread-pool worker, :func:`get_executor` always returns the
+serial executor, so a parallelized kernel calling another parallelized
+kernel degrades to inline execution instead of fanning out a pool per
+worker.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_all_start_methods, get_context
@@ -31,8 +45,15 @@ from ..perf import dispatch
 from . import shm
 
 #: True inside a pool worker (set by the pool initializer, inherited by
-#: nothing else) — the nested-parallelism guard.
+#: nothing else) — the process half of the nested-parallelism guard.
 _IN_WORKER = False
+
+#: Thread half of the guard: ``_TLS.in_worker`` is True while the current
+#: *thread* is executing a :class:`ThreadExecutor` task.
+_TLS = threading.local()
+
+#: Recognized execution backends (the ``--backend`` axis).
+BACKENDS = ("serial", "thread", "process")
 
 
 class ExecutorError(RuntimeError):
@@ -40,8 +61,18 @@ class ExecutorError(RuntimeError):
 
 
 def in_worker() -> bool:
-    """True when this process is an executor pool worker."""
-    return _IN_WORKER
+    """True when this process/thread is an executor pool worker."""
+    return _IN_WORKER or getattr(_TLS, "in_worker", False)
+
+
+def enter_thread_worker() -> None:
+    """Mark the current thread as a pool worker (ThreadExecutor tasks)."""
+    _TLS.in_worker = True
+
+
+def exit_thread_worker() -> None:
+    """Clear the current thread's worker mark."""
+    _TLS.in_worker = False
 
 
 def resolve_workers(workers=None) -> int:
@@ -74,6 +105,74 @@ def resolve_workers(workers=None) -> int:
     return max(1, workers)
 
 
+def resolve_backend(backend=None) -> str:
+    """Resolve the backend name: explicit > ``REPRO_BACKEND`` > process.
+
+    ``"serial"`` forces inline execution regardless of the worker count;
+    ``"thread"``/``"process"`` pick the pool kind used when the resolved
+    worker count exceeds one.
+    """
+    if backend is None:
+        backend = os.environ.get("REPRO_BACKEND", "").strip() or "process"
+    backend = str(backend).lower()
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend {backend!r}; options: {list(BACKENDS)}"
+        )
+    return backend
+
+
+def resolve_overlap(overlap=None) -> bool:
+    """Resolve the stage-overlap flag: explicit > ``REPRO_OVERLAP`` > off.
+
+    Accepts booleans or the strings ``"0"/"1"/"true"/"false"/"on"/"off"``.
+    """
+    if overlap is None:
+        env = os.environ.get("REPRO_OVERLAP", "").strip().lower()
+        if not env:
+            return False
+        overlap = env
+    if isinstance(overlap, str):
+        low = overlap.lower()
+        if low in ("1", "true", "on", "yes"):
+            return True
+        if low in ("0", "false", "off", "no"):
+            return False
+        raise ValueError(
+            f"overlap must be a boolean or '0'/'1'/'on'/'off', "
+            f"got {overlap!r}"
+        )
+    return bool(overlap)
+
+
+class BatchHandle:
+    """Deferred results of one :meth:`Executor.submit_batch` call.
+
+    ``result()`` returns the ordered list (same order as the submitted
+    tasks) and may be called at most once; implementations block until
+    every task has finished.
+    """
+
+    def result(self) -> list:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _ReadyBatch(BatchHandle):
+    """A batch that is computed lazily at gather time (serial backend).
+
+    Deferring to :meth:`result` keeps the serial memory profile identical
+    to the plain inline loop — nothing is resident before the caller asks.
+    """
+
+    def __init__(self, fn, tasks):
+        self._fn = fn
+        self._tasks = tasks
+
+    def result(self) -> list:
+        fn = self._fn
+        return [fn(*task) for task in self._tasks]
+
+
 class SerialExecutor:
     """Inline execution — the identity backend, zero overhead."""
 
@@ -82,6 +181,10 @@ class SerialExecutor:
     def run_batch(self, fn, tasks):
         """Run ``fn(*task)`` for every task, in order."""
         return [fn(*task) for task in tasks]
+
+    def submit_batch(self, fn, tasks) -> BatchHandle:
+        """Defer the batch; it runs inline when ``result()`` is called."""
+        return _ReadyBatch(fn, list(tasks))
 
     def close(self):
         pass
@@ -103,6 +206,30 @@ def _run_task(payload):
     if dispatch.enabled() != fast:
         dispatch.set_fast_paths(fast)
     return shm.export_result(fn(*shm.import_value(args)))
+
+
+class _ProcessBatch(BatchHandle):
+    """In-flight futures of one process-pool batch."""
+
+    def __init__(self, executor: "ProcessExecutor", fn, futures):
+        self._executor = executor
+        self._fn = fn
+        self._futures = futures
+
+    def result(self) -> list:
+        try:
+            results = [f.result() for f in self._futures]
+        except BrokenProcessPool as exc:
+            self._executor._discard_pool()
+            fn = self._fn
+            raise ExecutorError(
+                f"a pool worker died while running "
+                f"{getattr(fn, '__name__', fn)!r} over "
+                f"{len(self._futures)} task(s); the pool has been "
+                f"discarded and will restart on the next batch (retry "
+                f"with REPRO_WORKERS=1 to bisect)"
+            ) from exc
+        return [shm.import_result(r) for r in results]
 
 
 class ProcessExecutor:
@@ -145,6 +272,36 @@ class ProcessExecutor:
             )
         return self._pool
 
+    def _discard_pool(self) -> None:
+        # A worker died (OOM-killed, segfault, os._exit) — the pool is
+        # unusable; drop it so the next batch starts fresh.
+        self._pool = None
+
+    def submit_batch(self, fn, tasks) -> BatchHandle:
+        """Dispatch the batch to the pool without waiting for results.
+
+        Exporting the task arguments (the shared-memory slab exports)
+        happens *now*, in the caller; the returned handle only gathers.
+        """
+        tasks = list(tasks)
+        fast = dispatch.enabled()
+        payloads = [
+            (fn, shm.export_value(task), fast) for task in tasks
+        ]
+        if not payloads:
+            return _ReadyBatch(fn, [])
+        pool = self._ensure_pool()
+        try:
+            futures = [pool.submit(_run_task, p) for p in payloads]
+        except BrokenProcessPool as exc:
+            self._discard_pool()
+            raise ExecutorError(
+                f"the worker pool broke while submitting "
+                f"{getattr(fn, '__name__', fn)!r}; it will restart on "
+                f"the next batch (retry with REPRO_WORKERS=1 to bisect)"
+            ) from exc
+        return _ProcessBatch(self, fn, futures)
+
     def run_batch(self, fn, tasks):
         """Run ``fn(*task)`` for every task across the pool, in order.
 
@@ -152,29 +309,7 @@ class ProcessExecutor:
         task tuples travel through shared memory; results are gathered in
         task order, so downstream consumption is deterministic.
         """
-        tasks = list(tasks)
-        if not tasks:
-            return []
-        fast = dispatch.enabled()
-        payloads = [
-            (fn, shm.export_value(task), fast) for task in tasks
-        ]
-        pool = self._ensure_pool()
-        try:
-            results = list(pool.map(_run_task, payloads))
-        except BrokenProcessPool as exc:
-            # A worker died (OOM-killed, segfault, os._exit) — the pool is
-            # unusable; drop it so the next batch starts fresh, and
-            # surface a diagnosable error instead of a hung run.
-            self._pool = None
-            raise ExecutorError(
-                f"a pool worker died while running "
-                f"{getattr(fn, '__name__', fn)!r} over {len(tasks)} "
-                f"task(s); the pool has been discarded and will restart "
-                f"on the next batch (retry with REPRO_WORKERS=1 to "
-                f"bisect)"
-            ) from exc
-        return [shm.import_result(r) for r in results]
+        return self.submit_batch(fn, tasks).result()
 
     def close(self):
         """Shut the pool down; the executor stays usable (lazy restart)."""
@@ -187,23 +322,39 @@ class ProcessExecutor:
         return f"ProcessExecutor(workers={self.workers}, {state})"
 
 
+def _thread_executor_cls():
+    from .threads import ThreadExecutor
+
+    return ThreadExecutor
+
+
 #: ``Executor`` is a structural protocol: anything with ``.workers``,
-#: ``.run_batch`` and ``.close`` (both classes above satisfy it).
+#: ``.run_batch``, ``.submit_batch`` and ``.close``.  The union exists
+#: for isinstance checks in tests; :class:`ThreadExecutor` (in
+#: :mod:`repro.parallel.threads`) satisfies it too.
 Executor = SerialExecutor | ProcessExecutor
 
 _SERIAL = SerialExecutor()
 _process_executors: dict[int, ProcessExecutor] = {}
+_thread_executors: dict[int, object] = {}
 
 
-def get_executor(workers=None):
-    """The executor for a requested worker count (pools are cached).
+def get_executor(workers=None, backend=None):
+    """The executor for a worker count and backend (pools are cached).
 
-    Serial when the resolved count is 1 **or** when called from inside a
-    pool worker (the nested-parallelism guard).
+    Serial when the resolved count is 1, the resolved backend is
+    ``"serial"``, **or** when called from inside any pool worker (the
+    nested-parallelism guard covers process and thread workers alike).
     """
     count = resolve_workers(workers)
-    if count <= 1 or _IN_WORKER:
+    kind = resolve_backend(backend)
+    if count <= 1 or kind == "serial" or in_worker():
         return _SERIAL
+    if kind == "thread":
+        ex = _thread_executors.get(count)
+        if ex is None:
+            ex = _thread_executors[count] = _thread_executor_cls()(count)
+        return ex
     ex = _process_executors.get(count)
     if ex is None:
         ex = _process_executors[count] = ProcessExecutor(count)
@@ -214,6 +365,8 @@ def shutdown_executors() -> None:
     """Close every cached pool and unlink live transport segments."""
     if _IN_WORKER:  # inherited pools and segments belong to the parent
         return
+    for ex in _thread_executors.values():
+        ex.close()
     for ex in _process_executors.values():
         ex.close()
     shm.shutdown_transport()

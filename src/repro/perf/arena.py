@@ -11,6 +11,8 @@ an O(capacity) memset into an O(touched) one).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 
@@ -57,9 +59,21 @@ class Arena:
         self._arange = np.empty(0, dtype=np.int64)
 
 
-_GLOBAL = Arena()
+_TLS = threading.local()
 
 
 def global_arena() -> Arena:
-    """The process-wide arena the fast kernels share."""
-    return _GLOBAL
+    """The calling thread's arena.
+
+    Arena buffers are handed out as raw views with caller-maintained
+    invariants (the all-False flags contract), so two threads sharing one
+    arena would corrupt each other's scratch mid-kernel.  The thread
+    execution backend runs kernels on pool threads; giving every thread
+    its own arena keeps the zero-allocation reuse *and* the invariants
+    without any locking on the hot path.  The main thread's arena is the
+    long-lived one; worker arenas die with their threads.
+    """
+    arena = getattr(_TLS, "arena", None)
+    if arena is None:
+        arena = _TLS.arena = Arena()
+    return arena

@@ -145,6 +145,24 @@ class SummaResult:
     #: quantity the phase planner (§V) is supposed to keep under the
     #: per-process budget.
     max_rank_resident_bytes: int = 0
+    # -- wall-clock overlap scheduler diagnostics (zero when off) --------
+    #: In-flight stage window the overlap scheduler ran with (0 when the
+    #: scheduler was not armed; 1 means it degraded to single-buffering
+    #: because the budget had no room for a prefetched stage).
+    overlap_window: int = 0
+    #: Stages whose input slabs/exports were prefetched while the parent
+    #: was still accounting the previous stage.
+    prefetched_stages: int = 0
+    #: Modeled seconds of the overlapped (multiply, merge) pairs charged
+    #: as a sum (serial) vs as a max (overlapped); the difference is the
+    #: modeled critical-path time the overlap hides.  Diagnostics only —
+    #: rank clocks are never touched by the scheduler.
+    overlap_serial_seconds: float = 0.0
+    overlap_overlapped_seconds: float = 0.0
+
+    @property
+    def overlap_saved_seconds(self) -> float:
+        return self.overlap_serial_seconds - self.overlap_overlapped_seconds
 
 
 def _pick_kernel(
@@ -251,6 +269,9 @@ def summa_multiply(
     injector=None,
     executor=None,
     workers: int | str | None = None,
+    backend: str | None = None,
+    overlap: bool | str | None = None,
+    overlap_budget_bytes: int | None = None,
 ) -> SummaResult:
     """Compute ``C = A·B`` on the grid, per the configured algorithm.
 
@@ -259,13 +280,25 @@ def summa_multiply(
     slabs to keep; rank clocks may be charged inside the callback (the
     HipMCL driver charges pruning there).
 
-    ``executor`` (or ``workers``, resolved through
+    ``executor`` (or ``workers`` and ``backend``, resolved through
     :func:`repro.parallel.get_executor`) selects the wall-clock backend:
-    with a process executor, each stage's independent ``(i, j)`` local
+    with a pool executor, each stage's independent ``(i, j)`` local
     products are computed across the pool *before* the serial accounting
     pass consumes them in the usual ``(i, j)`` order — modeled clocks,
-    traces, and fault draws are untouched, so ``workers=N`` is
-    bit-identical to ``workers=1``.
+    traces, and fault draws are untouched, so every ``(backend, workers)``
+    combination is bit-identical to ``workers=1``.
+
+    ``overlap`` (default ``REPRO_OVERLAP``, else off) arms the pipelined
+    stage-overlap scheduler: the stage-(k+1) batch — its B phase slabs,
+    and with the process backend their shared-memory exports — is built
+    and submitted *before* the parent runs the stage-k accounting pass,
+    so the pool computes the next stage's local multiplies while the
+    parent merges the previous stage's intermediates.  The in-flight
+    window is double-buffered at most and shrinks to 1 when
+    ``overlap_budget_bytes`` (the §V estimator budget) has no room for a
+    prefetched stage.  The scheduler reorders only *pure* computation;
+    every clock charge, fault draw, trace event and merge happens in the
+    same serial order, so ``overlap=True`` is bit-identical to serial.
 
     ``injector`` threads fault injection into the engine-created devices
     and the CPU hash kernel.  Faulted kernels demote along the ladder
@@ -292,10 +325,41 @@ def summa_multiply(
     if executor is None:
         from ..parallel import get_executor
 
-        executor = get_executor(workers)
+        executor = get_executor(workers, backend)
     # Real-kernel runs recompute products with the genuinely selected
     # kernel inside the accounting pass, so pre-batching would be wasted.
     parallel_stages = executor.workers > 1 and not config.run_real_kernels
+    from ..parallel import resolve_overlap
+
+    overlap_active = False
+    acct = None
+    armed_window = 0
+    if resolve_overlap(overlap) and parallel_stages:
+        from .phases import OverlapAccounting, overlap_window
+
+        # Per-rank footprint of one in-flight stage: the largest A block
+        # plus the largest B phase slab (a block's columns split h ways).
+        a_max = max(
+            (
+                dist_a.block_storage_bytes(i, kk)
+                for i in range(q)
+                for kk in range(q)
+            ),
+            default=0,
+        )
+        b_max = max(
+            (
+                dist_b.block_storage_bytes(kk, j)
+                for kk in range(q)
+                for j in range(q)
+            ),
+            default=0,
+        )
+        stage_bytes = int(a_max + (b_max + phases - 1) // phases)
+        armed_window = overlap_window(stage_bytes, overlap_budget_bytes)
+        overlap_active = armed_window > 1 and q > 1
+        if overlap_active:
+            acct = OverlapAccounting()
     if devices is None and config.use_gpu:
         devices = {
             r: [
@@ -311,6 +375,7 @@ def summa_multiply(
         ),
         phases=phases,
     )
+    result.overlap_window = armed_window
     kept_slabs: dict[tuple[int, int], list[CSCMatrix]] = {
         (i, j): [] for i in range(q) for j in range(q)
     }
@@ -346,13 +411,49 @@ def summa_multiply(
             for j in range(q)
         }
         input_bytes_peak = np.zeros((q, q), dtype=np.int64)
-        for k in range(q):
+
+        # Stages prepared ahead of the serial pass: k -> (slabs, slab
+        # byte counts, batched (i, j) pairs, in-flight batch handle).
+        # Preparing a stage builds (or memo-hits) its B phase slabs and
+        # submits its local-multiply batch — with the process backend the
+        # submit itself performs the shared-memory slab exports, so
+        # preparing stage k+1 early is exactly the §III prefetch.
+        staged: dict[int, tuple] = {}
+
+        def submit_stage(k: int) -> None:
             slabs: list[CSCMatrix] = []
             slab_bytes: list[int] = []
             for j in range(q):
                 slab, nbytes = phase_slab(k, j, p)
                 slabs.append(slab)
                 slab_bytes.append(nbytes)
+            pairs: list[tuple[int, int]] = []
+            handle = None
+            if parallel_stages:
+                from ..parallel.work import local_multiply
+
+                pairs = [
+                    (i, j)
+                    for i in range(q)
+                    if dist_a.block(i, k).nnz
+                    for j in range(q)
+                    if slabs[j].nnz
+                ]
+                if pairs:
+                    handle = executor.submit_batch(
+                        local_multiply,
+                        [(dist_a.block(i, k), slabs[j]) for i, j in pairs],
+                    )
+            staged[k] = (slabs, slab_bytes, pairs, handle)
+
+        # Per-stage modeled durations feeding the overlap diagnostics:
+        # stage-k merges overlap stage-(k+1) multiplies.
+        mult_seconds = np.zeros(q)
+        merge_seconds = np.zeros(q)
+        for k in range(q):
+            if k not in staged:
+                submit_stage(k)
+            slabs, slab_bytes, pairs, handle = staged.pop(k)
             # -- broadcasts: A along rows, B along columns ------------------
             a_bytes_row = np.zeros(q, dtype=np.int64)
             b_bytes_col = np.zeros(q, dtype=np.int64)
@@ -382,28 +483,21 @@ def summa_multiply(
                 out=input_bytes_peak,
             )
             # -- local multiplies ---------------------------------------------
-            # With a process executor, compute every (i, j) product of the
-            # stage across the pool up front; the accounting pass below
+            # With a pool executor, every (i, j) product of the stage is
+            # computed across the pool up front; the accounting pass below
             # then consumes them in the same deterministic (i, j) order it
-            # would have computed them in.  Serially, the batch stays None
-            # and the pass computes inline — byte-for-byte the old path.
+            # would have computed them in.  Serially, the handle stays
+            # None and the pass computes inline — byte-for-byte the old
+            # path.  With overlap armed, stage k+1 is built and submitted
+            # *before* stage k is gathered: the pool's workers roll
+            # straight from stage-k tasks into stage-(k+1) tasks while
+            # the parent runs stage k's accounting and merge events.
+            if overlap_active and k + 1 < q:
+                submit_stage(k + 1)
+                result.prefetched_stages += 1
             stage_products = None
-            if parallel_stages:
-                from ..parallel.work import local_multiply
-
-                pairs = [
-                    (i, j)
-                    for i in range(q)
-                    if dist_a.block(i, k).nnz
-                    for j in range(q)
-                    if slabs[j].nnz
-                ]
-                if pairs:
-                    outs = executor.run_batch(
-                        local_multiply,
-                        [(dist_a.block(i, k), slabs[j]) for i, j in pairs],
-                    )
-                    stage_products = dict(zip(pairs, outs))
+            if handle is not None:
+                stage_products = dict(zip(pairs, handle.result()))
             for i in range(q):
                 a_blk = dist_a.block(i, k)
                 a_col_lens = a_blk.column_lengths()
@@ -484,6 +578,7 @@ def summa_multiply(
                         mult_end = clock.gpu.schedule(
                             clock.gpu.free_at, kern_s, "local_spgemm"
                         )
+                        mult_seconds[k] += kern_s
                         done = clock.gpu.schedule(
                             clock.gpu.free_at, spec.d2h_time(d2h), "d2h"
                         )
@@ -510,6 +605,7 @@ def summa_multiply(
                         available = clock.cpu.schedule(
                             clock.cpu.free_at, dur, "local_spgemm"
                         )
+                        mult_seconds[k] += dur
                         if config.trace:
                             result.trace.append(
                                 (rank, p, k, "cpu_mult",
@@ -524,6 +620,7 @@ def summa_multiply(
                         end = clock.cpu.schedule(
                             max(clock.cpu.free_at, available), dur, "merge"
                         )
+                        merge_seconds[k] += dur
                         if config.trace:
                             result.trace.append(
                                 (rank, p, k, "merge", end - dur, end)
@@ -531,6 +628,11 @@ def summa_multiply(
                     state.mark_charged()
             if not config.pipelined:
                 comm.barrier()
+        if acct is not None:
+            for kk in range(q - 1):
+                acct.charge(
+                    float(mult_seconds[kk + 1]), float(merge_seconds[kk])
+                )
         # -- phase wrap-up: final merges, callback -----------------------------
         phase_blocks: dict[tuple[int, int], CSCMatrix] = {}
         for (i, j), state in merge_states.items():
@@ -566,6 +668,9 @@ def summa_multiply(
 
     for key, slabs in kept_slabs.items():
         result.dist_c.blocks[key] = hstack_csc(slabs)
+    if acct is not None:
+        result.overlap_serial_seconds = acct.serial_seconds
+        result.overlap_overlapped_seconds = acct.overlapped_seconds
     return result
 
 

@@ -56,6 +56,38 @@ def test_cluster_distributed_mode(tmp_path, capsys):
     assert out.out.strip()  # clusters on stdout
 
 
+def test_cluster_backend_overlap_flags(tmp_path, capsys):
+    # --backend/--overlap select the wall-clock pool; stdout clustering
+    # must be identical to the flagless run for every combination.
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    capsys.readouterr()
+    base_args = [
+        "cluster", str(net_path), "--mode", "optimized",
+        "--nodes", "4", "--select", "12",
+    ]
+    assert main(base_args) == 0
+    expected = capsys.readouterr().out
+    for backend in ("serial", "thread", "process"):
+        args = base_args + [
+            "--workers", "2", "--backend", backend, "--overlap",
+        ]
+        assert main(args) == 0
+        assert capsys.readouterr().out == expected
+
+
+def test_cluster_backend_flags_need_distributed_mode(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    capsys.readouterr()
+    for extra in (["--backend", "thread"], ["--overlap"]):
+        assert (
+            main(["cluster", str(net_path), "--mode", "reference"] + extra)
+            == 2
+        )
+        assert "distributed --mode" in capsys.readouterr().err
+
+
 def test_cluster_modes_agree(tmp_path, capsys):
     net_path = tmp_path / "net.mtx"
     main(["generate", "planted:100:10", "-o", str(net_path)])

@@ -16,7 +16,10 @@ from repro.parallel import (
     ExecutorError,
     ProcessExecutor,
     SerialExecutor,
+    ThreadExecutor,
     get_executor,
+    resolve_backend,
+    resolve_overlap,
     resolve_workers,
     shutdown_executors,
 )
@@ -61,6 +64,48 @@ class TestResolveWorkers:
     def test_invalid_values_rejected(self, bad):
         with pytest.raises(ValueError):
             resolve_workers(bad)
+
+
+class TestResolveBackend:
+    @pytest.fixture(autouse=True)
+    def _clean(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.delenv("REPRO_OVERLAP", raising=False)
+
+    def test_default_is_process(self):
+        assert resolve_backend() == "process"
+        assert resolve_backend(None) == "process"
+
+    def test_explicit_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert resolve_backend("process") == "process"
+        assert resolve_backend() == "thread"
+
+    @pytest.mark.parametrize("bad", ["threads", "mpi", "2"])
+    def test_invalid_backend_rejected(self, bad):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend(bad)
+
+    def test_overlap_defaults_off(self):
+        assert resolve_overlap() is False
+        assert resolve_overlap(None) is False
+
+    @pytest.mark.parametrize(
+        ("raw", "expected"),
+        [(True, True), (False, False), ("1", True), ("0", False),
+         ("on", True), ("off", False), ("Yes", True), ("no", False)],
+    )
+    def test_overlap_values(self, raw, expected):
+        assert resolve_overlap(raw) is expected
+
+    def test_overlap_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_OVERLAP", "1")
+        assert resolve_overlap() is True
+        assert resolve_overlap(False) is False  # explicit beats env
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            resolve_overlap("sometimes")
 
 
 # ---------------------------------------------------------------------------
@@ -141,6 +186,9 @@ class TestProcessExecutor:
         states = ex.run_batch(probe_state, [()])
         assert states[0]["in_worker"] is True
         assert states[0]["nested_executor"] == "SerialExecutor"
+        # A *thread* executor requested inside a process worker must
+        # degrade too — the worker is already one lane of a fan-out.
+        assert states[0]["nested_thread_executor"] == "SerialExecutor"
         # The parent itself is not a worker.
         me = probe_state()
         assert me["in_worker"] is False
@@ -155,6 +203,104 @@ class TestProcessExecutor:
             assert ex.run_batch(probe_state, [()])[0]["fast_paths"]
         finally:
             dispatch.set_fast_paths(True)
+
+
+# ---------------------------------------------------------------------------
+# Thread backend
+# ---------------------------------------------------------------------------
+
+
+class TestThreadExecutor:
+    def test_selected_by_backend_and_cached(self):
+        ex = get_executor(2, backend="thread")
+        assert isinstance(ex, ThreadExecutor)
+        assert ex.workers == 2
+        assert get_executor(2, backend="thread") is ex
+        assert get_executor(3, backend="thread") is not ex
+        # Different backend, same count: a distinct executor.
+        assert isinstance(get_executor(2, backend="process"),
+                          ProcessExecutor)
+
+    def test_serial_backend_forces_inline(self):
+        assert isinstance(get_executor(4, backend="serial"),
+                          SerialExecutor)
+
+    def test_environment_selects_thread_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "thread")
+        assert isinstance(get_executor(2), ThreadExecutor)
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            ThreadExecutor(1)
+
+    def test_batch_results_in_task_order(self):
+        ex = get_executor(2, backend="thread")
+        assert ex.run_batch(pow, [(i, 2) for i in range(10)]) == [
+            i * i for i in range(10)
+        ]
+        assert ex.run_batch(pow, []) == []
+
+    def test_zero_copy_same_process(self):
+        # The thread backend's whole point: tasks see the parent's
+        # objects, no transport, no pickling.
+        ex = get_executor(2, backend="thread")
+        states = ex.run_batch(probe_state, [()] * 4)
+        assert all(s["pid"] == os.getpid() for s in states)
+        payload = {"marker": object()}
+        (echoed,) = ex.run_batch(dict.get, [(payload, "marker")])
+        assert echoed is payload["marker"]
+
+    def test_close_then_reuse_restarts_lazily(self):
+        ex = get_executor(2, backend="thread")
+        assert ex.run_batch(pow, [(2, 2)]) == [4]
+        ex.close()
+        assert ex._pool is None
+        assert ex.run_batch(pow, [(2, 5)]) == [32]
+
+    def test_nested_request_inside_thread_worker_degrades(self):
+        # Regression: the in-worker guard used to be a process-global
+        # flag only, so a thread worker could spawn a nested pool.
+        ex = get_executor(2, backend="thread")
+        states = ex.run_batch(probe_state, [()] * 4)
+        for state in states:
+            assert state["in_worker"] is True
+            assert state["nested_executor"] == "SerialExecutor"
+            assert state["nested_thread_executor"] == "SerialExecutor"
+        # The guard is thread-local: once the batch is done, the parent
+        # thread is unaffected.
+        me = probe_state()
+        assert me["in_worker"] is False
+        assert me["nested_thread_executor"] == "ThreadExecutor"
+
+    def test_task_error_propagates(self):
+        ex = get_executor(2, backend="thread")
+        with pytest.raises(ZeroDivisionError):
+            ex.run_batch(divmod, [(1, 0)])
+        assert ex.run_batch(pow, [(2, 4)]) == [16]  # pool still healthy
+
+
+class TestSubmitBatch:
+    def test_serial_handle_is_lazy_and_ordered(self):
+        calls = []
+
+        def record(i):
+            calls.append(i)
+            return i * 10
+
+        handle = SerialExecutor().submit_batch(record, [(0,), (1,)])
+        assert calls == []  # nothing ran at submit time
+        assert handle.result() == [0, 10]
+        assert calls == [0, 1]
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_handles_overlap_in_flight(self, backend):
+        ex = get_executor(2, backend=backend)
+        first = ex.submit_batch(pow, [(i, 2) for i in range(4)])
+        second = ex.submit_batch(pow, [(i, 3) for i in range(4)])
+        # Gather out of submission order: both batches complete.
+        assert second.result() == [i**3 for i in range(4)]
+        assert first.result() == [i**2 for i in range(4)]
+        assert first.result() == [i**2 for i in range(4)]  # idempotent
 
 
 # ---------------------------------------------------------------------------

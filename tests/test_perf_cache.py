@@ -229,6 +229,32 @@ def test_comparison_handles_zero_baseline():
     assert c.regressed(0.25)
 
 
+def test_schema3_scaling_flattens_with_legacy_aliases():
+    # Schema-3 per-backend scaling rows pair with a schema-2 baseline's
+    # process-only names, both directions.
+    from repro.bench.perfbench import validate_report
+
+    rep3 = _report({}, {})
+    rep3["schema"] = 3
+    rep3["scaling"] = {
+        "net": {
+            "thread": {"w2": {"seconds": 2.0}},
+            "process": {"w2": {"seconds": 3.0}},
+        }
+    }
+    rep2 = _report({}, {})
+    rep2["schema"] = 2
+    rep2["scaling"] = {"net": {"w2": {"seconds": 4.0}}}
+    assert validate_report(rep3) == [] and validate_report(rep2) == []
+    rows = {c.name: c for c in compare_reports(rep3, rep2)}
+    assert set(rows) == {"scaling/net/w2"}
+    assert rows["scaling/net/w2"].current == 3.0  # the process rows
+    # Schema-3 vs schema-3 pairs per backend.
+    rows3 = {c.name: c for c in compare_reports(rep3, rep3)}
+    assert "scaling/net/thread/w2" in rows3
+    assert "scaling/net/process/w2" in rows3
+
+
 # ---------------------------------------------------------------------------
 # Baseline validation for --check (fails fast, with actionable messages)
 # ---------------------------------------------------------------------------

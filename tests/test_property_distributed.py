@@ -63,6 +63,47 @@ def test_merge_schedule_invariance(instance, merge):
     assert np.allclose(res.dist_c.to_global().to_dense(), expected, atol=1e-9)
 
 
+@given(
+    scale=st.integers(3, 5),
+    edge_factor=st.integers(2, 8),
+    seed=st.integers(0, 10_000),
+    q=st.sampled_from([2, 3, 4]),
+    phases=st.integers(1, 3),
+)
+@settings(max_examples=15, deadline=None)
+def test_overlap_thread_backend_bit_identical(scale, edge_factor, seed, q,
+                                              phases):
+    # Random R-MAT inputs through the armed overlap scheduler on the
+    # thread backend: simulated clocks, kernel selections and the product
+    # itself must equal the serial run exactly — not approximately.
+    from repro.nets import rmat_network
+
+    mat = rmat_network(scale, edge_factor, seed=seed).matrix
+    grid = ProcessGrid(q)
+    dist = DistributedCSC.from_global(mat, grid)
+
+    def run(**kw):
+        comm = VirtualComm(grid.size, SUMMIT_LIKE)
+        res = summa_multiply(
+            dist, dist, comm, SummaConfig(), phases=phases, **kw
+        )
+        return res, [(c.cpu.free_at, c.gpu.free_at) for c in comm.clocks]
+
+    ser, ser_clocks = run()
+    par, par_clocks = run(workers=2, backend="thread", overlap=True)
+    assert par_clocks == ser_clocks
+    assert par.kernel_selections == ser.kernel_selections
+    assert par.stage_flops == ser.stage_flops
+    assert par.merge_operations == ser.merge_operations
+    for key, blk in ser.dist_c.blocks.items():
+        other = par.dist_c.blocks[key]
+        assert np.array_equal(blk.indptr, other.indptr)
+        assert np.array_equal(blk.indices, other.indices)
+        assert np.array_equal(
+            blk.data.view(np.uint64), other.data.view(np.uint64)
+        )
+
+
 @given(distributed_instances())
 @settings(max_examples=20, deadline=None)
 def test_clock_invariants(instance):

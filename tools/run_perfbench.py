@@ -3,15 +3,16 @@
 
 Record a new baseline (writes BENCH_PR<k>.json at the repo root):
 
-    PYTHONPATH=src python tools/run_perfbench.py --pr 3
+    PYTHONPATH=src python tools/run_perfbench.py --pr 4
 
 Gate a change against the committed baseline (exit 1 on >25 % slowdown):
 
     PYTHONPATH=src python tools/run_perfbench.py --check
 
-Benchmark the process-parallel execution backend:
+Benchmark a pool execution backend, with stage overlap:
 
-    PYTHONPATH=src python tools/run_perfbench.py --workers 4 --no-scaling
+    PYTHONPATH=src python tools/run_perfbench.py --workers 4 \
+        --backend thread --overlap --no-scaling
 
 See src/repro/bench/perfbench.py for what is measured.
 """
@@ -41,8 +42,8 @@ from repro.bench.perfbench import (  # noqa: E402
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--pr", type=int, default=3,
-        help="PR number k for the BENCH_PR<k>.json output name (default 3)",
+        "--pr", type=int, default=4,
+        help="PR number k for the BENCH_PR<k>.json output name (default 4)",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
@@ -59,8 +60,18 @@ def main(argv=None) -> int:
         "always pins its own counts",
     )
     parser.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default=None,
+        help="pool flavor for the end-to-end runs (default: REPRO_BACKEND "
+        "or process); the scaling sweep always sweeps both pool backends",
+    )
+    parser.add_argument(
+        "--overlap", action="store_true", default=None,
+        help="arm the pipelined stage-overlap scheduler for the "
+        "end-to-end and scaling runs (default: REPRO_OVERLAP or off)",
+    )
+    parser.add_argument(
         "--no-scaling", action="store_true",
-        help="skip the worker-scaling sweep (three extra end-to-end runs)",
+        help="skip the worker-scaling sweep (six extra end-to-end runs)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -93,6 +104,8 @@ def main(argv=None) -> int:
         log=print,
         workers=args.workers,
         scaling=not args.no_scaling,
+        backend=args.backend,
+        overlap=args.overlap,
     )
 
     out = args.output
