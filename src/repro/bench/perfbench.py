@@ -79,8 +79,16 @@ def bench_end_to_end(
     workers: int | str | None = None,
     backend: str | None = None,
     overlap: bool | str | None = None,
+    trace=None,
 ) -> dict:
-    """Time one full fast-path HipMCL run on a catalog network."""
+    """Time one full fast-path HipMCL run on a catalog network.
+
+    ``trace`` (a :class:`repro.trace.Tracer`) records the timed runs —
+    the gate's diagnostic mode: a benchmark that regressed is re-run
+    under tracing so the slow stage is visible in the exported timeline.
+    Leave it ``None`` for gating measurements (tracing is cheap but the
+    perf gate should time exactly what users run).
+    """
     from ..mcl.hipmcl import HipMCLConfig, hipmcl
     from ..nets import catalog
     from .harness import load_network, options_for
@@ -97,6 +105,7 @@ def bench_end_to_end(
         result["res"] = hipmcl(
             net.matrix, opts, cfg,
             workers=workers, backend=backend, overlap=overlap,
+            trace=trace,
         )
 
     seconds = _best_of(run, repeats)
@@ -353,6 +362,36 @@ def remeasure_into(
         return False
     row["seconds"] = min(float(row["seconds"]), float(sec))
     return True
+
+
+def trace_benchmark(name: str, workers: int | str | None = None):
+    """Re-run one flattened benchmark under the observability tracer.
+
+    Returns the populated :class:`repro.trace.Tracer` for ``end_to_end``
+    and ``scaling`` names (the runs with a pipeline worth a timeline), or
+    ``None`` for micro/unknown names.  The gate calls this for each
+    *confirmed* regression so the slow run ships with its own evidence —
+    export with :func:`repro.trace.write_chrome_trace`.
+    """
+    from ..trace import Tracer
+
+    parts = name.split("/")
+    tracer = Tracer()
+    try:
+        if parts[0] == "end_to_end" and len(parts) == 2:
+            bench_end_to_end(parts[1], repeats=1, workers=workers,
+                             trace=tracer)
+        elif parts[0] == "scaling" and len(parts) == 3:
+            bench_end_to_end(parts[1], repeats=1, workers=int(parts[2][1:]),
+                             backend="process", trace=tracer)
+        elif parts[0] == "scaling" and len(parts) == 4:
+            bench_end_to_end(parts[1], repeats=1, workers=int(parts[3][1:]),
+                             backend=parts[2], trace=tracer)
+        else:
+            return None
+    except (KeyError, ValueError):
+        return None
+    return tracer
 
 
 def save_report(report: dict, path) -> None:

@@ -107,6 +107,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "merges (needs --workers > 1; bit-identical; default: "
         "REPRO_OVERLAP or off)",
     )
+    clu.add_argument(
+        "--trace", metavar="FILE",
+        help="record the run with the observability tracer and write a "
+        "Chrome trace-event JSON (load in Perfetto; distributed modes "
+        "only; tracing is passive — results are bit-identical)",
+    )
+    clu.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the traced run's metrics stream as NDJSON "
+        "(implies tracing; distributed modes only)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -171,6 +182,8 @@ def _cmd_cluster(args) -> int:
             (args.workers, "--workers"),
             (args.backend, "--backend"),
             (args.overlap, "--overlap"),
+            (args.trace, "--trace"),
+            (args.metrics, "--metrics"),
         ):
             if flag is not None:
                 print(
@@ -208,6 +221,11 @@ def _cmd_cluster(args) -> int:
             except ValueError as exc:
                 print(f"error: {exc}", file=sys.stderr)
                 return 2
+        tracer = None
+        if args.trace or args.metrics:
+            from .trace import Tracer
+
+            tracer = Tracer()
         try:
             res = hipmcl(
                 matrix, options, cfg,
@@ -218,10 +236,28 @@ def _cmd_cluster(args) -> int:
                 workers=args.workers,
                 backend=args.backend,
                 overlap=args.overlap,
+                trace=tracer,
             )
         except ConvergenceError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 3
+        if tracer is not None:
+            from .trace import write_chrome_trace, write_metrics
+
+            if args.trace:
+                n_events = write_chrome_trace(tracer, args.trace)
+                print(
+                    f"wrote {args.trace}: {n_events} trace events "
+                    f"({len(tracer.spans)} spans, {len(tracer.lanes())} "
+                    "lanes; load in Perfetto)",
+                    file=sys.stderr,
+                )
+            if args.metrics:
+                n_lines = write_metrics(tracer, args.metrics)
+                print(
+                    f"wrote {args.metrics}: {n_lines} metric events",
+                    file=sys.stderr,
+                )
         extra = (
             f", {res.elapsed_seconds:.4f} simulated s on {args.nodes} "
             "virtual nodes"

@@ -40,6 +40,7 @@ from ..spgemm.metrics import flops as flops_of
 from ..spgemm.symbolic import symbolic_nnz
 from ..summa.distmatrix import DistributedCSC
 from ..summa.engine import SummaConfig, summa_multiply
+from ..trace import current_tracer, maybe_span
 from ..summa.phases import plan_phases
 from .chaos import chaos as chaos_of
 from .components import connected_components
@@ -457,6 +458,7 @@ def hipmcl(
     workers: int | str | None = None,
     backend: str | None = None,
     overlap: bool | str | None = None,
+    trace=None,
 ) -> HipMCLResult:
     """Run distributed MCL on the simulated machine and cluster ``matrix``.
 
@@ -496,7 +498,54 @@ def hipmcl(
         memory budget.  Every combination produces bit-identical
         results — parallelism relocates computation without reordering
         any reduction.
+    trace:
+        A :class:`repro.trace.Tracer` to record the run into.  The driver
+        activates it for the duration of the call, installs the run's
+        simulated clock (``comm.elapsed``) as its ``sim_clock`` unless one
+        is already set, and records spans/metrics across every layer
+        (estimation, expansion stages, pruning, inflation, executor tasks,
+        resilience events).  Tracing is passive: a traced run is
+        bit-identical to an untraced one.  Export the result with
+        :func:`repro.trace.write_chrome_trace` /
+        :func:`repro.trace.write_metrics`.
     """
+    kwargs = dict(
+        strict=strict,
+        faults=faults,
+        resume_from=resume_from,
+        checkpoint_dir=checkpoint_dir,
+        checkpoint_every=checkpoint_every,
+        workers=workers,
+        backend=backend,
+        overlap=overlap,
+    )
+    if trace is None:
+        return _hipmcl_run(matrix, options, config, **kwargs)
+    from ..trace import activate
+
+    prev_sim = trace.sim_clock
+    try:
+        with activate(trace), trace.span("hipmcl", "mcl"):
+            return _hipmcl_run(matrix, options, config, **kwargs)
+    finally:
+        trace.sim_clock = prev_sim
+
+
+def _hipmcl_run(
+    matrix: CSCMatrix,
+    options: MclOptions | None = None,
+    config: HipMCLConfig | None = None,
+    *,
+    strict: bool = False,
+    faults=None,
+    resume_from=None,
+    checkpoint_dir=None,
+    checkpoint_every: int = 1,
+    workers: int | str | None = None,
+    backend: str | None = None,
+    overlap: bool | str | None = None,
+) -> HipMCLResult:
+    """The driver body behind :func:`hipmcl` (tracer already active)."""
     wall_start = _time.perf_counter()
     options = options or MclOptions()
     config = config or HipMCLConfig()
@@ -524,6 +573,11 @@ def hipmcl(
         injector=injector,
         retry=policy.retry if policy is not None else None,
     )
+    tracer = current_tracer()
+    if tracer is not None and tracer.sim_clock is None:
+        # From here on every span/metric carries the run's simulated
+        # seconds alongside wall time (restored by the hipmcl wrapper).
+        tracer.sim_clock = comm.elapsed
     summa_cfg = config.summa_config()
     threads = config.threads_per_process
     # The degradation ladder is the only recovery for kernel-site faults,
@@ -591,57 +645,74 @@ def hipmcl(
         total_flops = flops_of(work, work)
 
         # ---- memory requirement estimation (§V) -------------------------
-        if config.estimator in ("symbolic", "probabilistic",
-                                "probabilistic-gpu"):
-            scheme = config.estimator
-        else:  # hybrid: exact when the previous product compressed little
-            scheme = (
-                "symbolic"
-                if prev_cf < config.estimator_cf_threshold
-                else "probabilistic"
-            )
-        if scheme == "symbolic":
-            estimated = float(symbolic_nnz(work, work))
-        else:
-            try:
-                estimated = estimate_nnz(
-                    work, work, keys=config.estimator_keys,
-                    seed=config.seed + it, injector=injector,
-                ).total
-            except EstimationError as exc:
-                recover = (
-                    policy is not None
-                    and policy.estimator_fallback
-                    and isinstance(exc, InjectedFault)
+        with maybe_span("estimate", "mcl", iteration=it) as est_sp:
+            if config.estimator in ("symbolic", "probabilistic",
+                                    "probabilistic-gpu"):
+                scheme = config.estimator
+            else:  # hybrid: exact when the previous product compressed
+                scheme = (
+                    "symbolic"
+                    if prev_cf < config.estimator_cf_threshold
+                    else "probabilistic"
                 )
-                if not recover:
-                    raise
-                # Charge the wasted probabilistic pass, then back off to
-                # the exact symbolic estimation (its cost is charged by
-                # the regular call below).
-                _charge_estimation(
-                    comm, grid, dist_a, config, scheme, total_flops,
-                    work.nnz,
-                )
-                estimator_fallbacks += 1
-                scheme = "symbolic"
+            if scheme == "symbolic":
                 estimated = float(symbolic_nnz(work, work))
-        _charge_estimation(
-            comm, grid, dist_a, config, scheme, total_flops, work.nnz
-        )
-        plan = plan_phases(
-            estimated,
-            grid.size,
-            config.memory_budget_bytes,
-            safety_factor=(
-                1.0 if scheme == "symbolic" else config.estimator_safety
-            ),
-        )
+            else:
+                try:
+                    estimated = estimate_nnz(
+                        work, work, keys=config.estimator_keys,
+                        seed=config.seed + it, injector=injector,
+                    ).total
+                except EstimationError as exc:
+                    recover = (
+                        policy is not None
+                        and policy.estimator_fallback
+                        and isinstance(exc, InjectedFault)
+                    )
+                    if not recover:
+                        raise
+                    # Charge the wasted probabilistic pass, then back off
+                    # to the exact symbolic estimation (its cost is
+                    # charged by the regular call below).
+                    _charge_estimation(
+                        comm, grid, dist_a, config, scheme, total_flops,
+                        work.nnz,
+                    )
+                    estimator_fallbacks += 1
+                    if tracer is not None:
+                        tracer.instant(
+                            "fault.estimator_fallback", "resilience",
+                            iteration=it, scheme=scheme,
+                        )
+                    scheme = "symbolic"
+                    estimated = float(symbolic_nnz(work, work))
+            _charge_estimation(
+                comm, grid, dist_a, config, scheme, total_flops, work.nnz
+            )
+            plan = plan_phases(
+                estimated,
+                grid.size,
+                config.memory_budget_bytes,
+                safety_factor=(
+                    1.0 if scheme == "symbolic" else config.estimator_safety
+                ),
+            )
+            est_sp.set(scheme=scheme, estimated=estimated,
+                       phases=plan.phases)
 
         # ---- phased expansion fused with pruning -------------------------------
         prune_totals = {"in": 0, "out": 0}
 
         def prune_callback(blocks, phase_index):
+            with maybe_span("prune", "mcl", iteration=it,
+                            phase=phase_index) as psp:
+                result = _prune_phase(blocks, phase_index)
+                psp.set(
+                    nnz_in=prune_totals["in"], nnz_out=prune_totals["out"]
+                )
+                return result
+
+        def _prune_phase(blocks, phase_index):
             pruned_blocks = {}
             # The §II per-column prune protocol is pure (all clock and
             # exchange accounting happens below, serially), so with a
@@ -725,6 +796,7 @@ def hipmcl(
         ]
         attempt_phases = plan.phases
         splits = 0
+        exp_span = maybe_span("expansion", "mcl", iteration=it)
         while True:
             # Each attempt recomputes the full expansion; a retried
             # attempt's charged time stays on the clocks (the rerun is
@@ -759,6 +831,13 @@ def hipmcl(
                 # budget is simply unreachable within the phase cap) and
                 # a process would have exceeded its memory.
                 budget_violations += 1
+                if tracer is not None:
+                    tracer.instant(
+                        "fault.budget_violation", "resilience",
+                        iteration=it,
+                        resident=summa_res.max_rank_resident_bytes,
+                        budget=config.memory_budget_bytes,
+                    )
             if (
                 overrun
                 and policy is not None
@@ -771,8 +850,15 @@ def hipmcl(
                 splits += 1
                 phase_split_retries += 1
                 attempt_phases = min(attempt_phases * 2, 256)
+                if tracer is not None:
+                    tracer.instant(
+                        "recovery.phase_split", "resilience",
+                        iteration=it, phases=attempt_phases,
+                    )
                 continue
             break
+        exp_span.set(phases=attempt_phases, splits=splits)
+        exp_span.close()
         expansion_t1 = comm.barrier()
         span = expansion_t1 - expansion_t0
         expansion_seconds += span
@@ -784,22 +870,25 @@ def hipmcl(
         exact_nnz = prune_totals["in"]
 
         # ---- inflation ------------------------------------------------------
-        pruned_global = summa_res.dist_c.to_global()
-        for (i, j), blk in summa_res.dist_c.blocks.items():
-            clock = comm.clocks[grid.rank_of(i, j)]
-            clock.cpu.schedule(
-                clock.cpu.free_at,
-                spec.inflate_time(blk.nnz, threads),
-                "inflation",
-            )
-        for j in range(grid.q):
-            c_lo, c_hi = grid.block_bounds(n, j)
-            comm.allreduce(
-                grid.col_members(j), 8 * (c_hi - c_lo), "inflation"
-            )
-        from ..sparse import normalize_columns
+        with maybe_span("inflation", "mcl", iteration=it):
+            pruned_global = summa_res.dist_c.to_global()
+            for (i, j), blk in summa_res.dist_c.blocks.items():
+                clock = comm.clocks[grid.rank_of(i, j)]
+                clock.cpu.schedule(
+                    clock.cpu.free_at,
+                    spec.inflate_time(blk.nnz, threads),
+                    "inflation",
+                )
+            for j in range(grid.q):
+                c_lo, c_hi = grid.block_bounds(n, j)
+                comm.allreduce(
+                    grid.col_members(j), 8 * (c_hi - c_lo), "inflation"
+                )
+            from ..sparse import normalize_columns
 
-        work = inflate(normalize_columns(pruned_global), options.inflation)
+            work = inflate(
+                normalize_columns(pruned_global), options.inflation
+            )
 
         # ---- convergence -------------------------------------------------------
         ch = chaos_of(work)
@@ -835,6 +924,18 @@ def hipmcl(
                 },
             )
         )
+        if tracer is not None:
+            rec = history[-1]
+            tracer.metric(
+                "iteration.nnz", work.nnz, iteration=it, chaos=ch,
+                cf=cf, flops=total_flops,
+            )
+            tracer.metric("iteration.chaos", ch, iteration=it)
+            tracer.metric(
+                "estimator.bound", estimated, iteration=it,
+                scheme=scheme, exact=exact_nnz,
+                error_pct=rec.estimation_error_pct,
+            )
         prev_cf = cf
         converged_now = ch < options.chaos_threshold
         if checker is not None:
@@ -868,6 +969,10 @@ def hipmcl(
                 ),
             )
             checkpoints_written += 1
+            if tracer is not None:
+                tracer.instant(
+                    "checkpoint.written", "resilience", iteration=it
+                )
         if converged_now:
             converged = True
             break

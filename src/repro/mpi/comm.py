@@ -97,13 +97,20 @@ class VirtualComm:
         with :class:`InjectedCommFailure`.
         """
         from ..resilience.faults import InjectedCommFailure
+        from ..trace import current_tracer
 
+        tracer = current_tracer()
         straggler = self.injector.straggler(len(ranks))
         if straggler is not None:
             idx, delay = straggler
             clock = self.clocks[ranks[idx]].cpu
             clock.schedule(clock.free_at, delay, RESILIENCE_ACCOUNT)
             self.traffic.straggler_events += 1
+            if tracer is not None:
+                tracer.instant(
+                    "fault.straggler", "resilience",
+                    rank=ranks[idx], delay=delay,
+                )
         failures = self.injector.collective_failures()
         for attempt in range(failures):
             if attempt >= self.retry.max_retries:
@@ -117,6 +124,11 @@ class VirtualComm:
                 self.clocks[r].cpu.schedule(start, cost, RESILIENCE_ACCOUNT)
             self.traffic.collective_retries += 1
             self.traffic.retry_seconds += cost
+            if tracer is not None:
+                tracer.instant(
+                    "fault.collective_retry", "resilience",
+                    attempt=attempt, cost=cost, group=len(ranks),
+                )
 
     def _collective(
         self, ranks: list[int], duration: float, account: str

@@ -42,6 +42,7 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import get_all_start_methods, get_context
 
 from ..perf import dispatch
+from ..trace import current_tracer, spans_from_dicts
 from . import shm
 
 #: True inside a pool worker (set by the pool initializer, inherited by
@@ -157,6 +158,22 @@ class BatchHandle:
         raise NotImplementedError
 
 
+def _task_meta(label, attrs, index: int):
+    """The per-task span attributes shipped to workers when tracing."""
+    meta = dict(attrs) if attrs else {}
+    if label:
+        meta["label"] = label
+    meta["task"] = index
+    return meta
+
+
+def _describe_task(fn, label, index: int, total: int) -> str:
+    """Human-readable identity of one work item (ExecutorError messages)."""
+    name = getattr(fn, "__name__", str(fn))
+    where = f" of {label!r}" if label else ""
+    return f"task #{index}/{total}{where} ({name})"
+
+
 class _ReadyBatch(BatchHandle):
     """A batch that is computed lazily at gather time (serial backend).
 
@@ -164,13 +181,25 @@ class _ReadyBatch(BatchHandle):
     to the plain inline loop — nothing is resident before the caller asks.
     """
 
-    def __init__(self, fn, tasks):
+    def __init__(self, fn, tasks, label=None, attrs=None):
         self._fn = fn
         self._tasks = tasks
+        self._label = label
+        self._attrs = attrs
 
     def result(self) -> list:
         fn = self._fn
-        return [fn(*task) for task in self._tasks]
+        tracer = current_tracer()
+        if tracer is None:
+            return [fn(*task) for task in self._tasks]
+        name = getattr(fn, "__name__", "task")
+        out = []
+        for i, task in enumerate(self._tasks):
+            with tracer.span(
+                name, "executor", **_task_meta(self._label, self._attrs, i)
+            ):
+                out.append(fn(*task))
+        return out
 
 
 class SerialExecutor:
@@ -178,13 +207,13 @@ class SerialExecutor:
 
     workers = 1
 
-    def run_batch(self, fn, tasks):
+    def run_batch(self, fn, tasks, label=None, attrs=None):
         """Run ``fn(*task)`` for every task, in order."""
-        return [fn(*task) for task in tasks]
+        return self.submit_batch(fn, tasks, label=label, attrs=attrs).result()
 
-    def submit_batch(self, fn, tasks) -> BatchHandle:
+    def submit_batch(self, fn, tasks, label=None, attrs=None) -> BatchHandle:
         """Defer the batch; it runs inline when ``result()`` is called."""
-        return _ReadyBatch(fn, list(tasks))
+        return _ReadyBatch(fn, list(tasks), label, attrs)
 
     def close(self):
         pass
@@ -201,35 +230,66 @@ def _worker_init(fast: bool) -> None:
 
 
 def _run_task(payload):
-    """Pool entry point: import args, sync global state, run, export."""
-    fn, args, fast = payload
+    """Pool entry point: import args, sync global state, run, export.
+
+    ``meta`` is ``None`` when the parent was not tracing at submit time;
+    otherwise the worker records its own spans (task body, shm import and
+    export) in a private tracer whose serialized spans travel back with
+    the result and are stitched into the parent trace at gather.
+    """
+    fn, args, fast, meta = payload
     if dispatch.enabled() != fast:
         dispatch.set_fast_paths(fast)
-    return shm.export_result(fn(*shm.import_value(args)))
+    if meta is None:
+        return shm.export_result(fn(*shm.import_value(args))), None
+    from ..trace import Tracer, activate, worker_lane_name
+
+    tracer = Tracer(lane=worker_lane_name())
+    with activate(tracer):
+        with tracer.span(getattr(fn, "__name__", "task"), "executor", **meta):
+            with tracer.span("shm_import", "shm"):
+                real_args = shm.import_value(args)
+            out = fn(*real_args)
+            with tracer.span("shm_export", "shm"):
+                exported = shm.export_result(out)
+    return exported, [s.to_dict() for s in tracer.spans]
 
 
 class _ProcessBatch(BatchHandle):
     """In-flight futures of one process-pool batch."""
 
-    def __init__(self, executor: "ProcessExecutor", fn, futures):
+    def __init__(self, executor: "ProcessExecutor", fn, futures, label=None):
         self._executor = executor
         self._fn = fn
         self._futures = futures
+        self._label = label
 
     def result(self) -> list:
+        results = []
+        index = -1
         try:
-            results = [f.result() for f in self._futures]
+            for index, f in enumerate(self._futures):
+                results.append(f.result())
         except BrokenProcessPool as exc:
             self._executor._discard_pool()
             fn = self._fn
+            failed = _describe_task(
+                fn, self._label, max(index, 0), len(self._futures)
+            )
             raise ExecutorError(
                 f"a pool worker died while running "
                 f"{getattr(fn, '__name__', fn)!r} over "
-                f"{len(self._futures)} task(s); the pool has been "
-                f"discarded and will restart on the next batch (retry "
-                f"with REPRO_WORKERS=1 to bisect)"
+                f"{len(self._futures)} task(s); first failure at {failed}; "
+                f"the pool has been discarded and will restart on the next "
+                f"batch (retry with REPRO_WORKERS=1 to bisect)"
             ) from exc
-        return [shm.import_result(r) for r in results]
+        tracer = current_tracer()
+        out = []
+        for value, spans in results:
+            if spans and tracer is not None:
+                tracer.graft(spans_from_dicts(spans))
+            out.append(shm.import_result(value))
+        return out
 
 
 class ProcessExecutor:
@@ -277,7 +337,7 @@ class ProcessExecutor:
         # unusable; drop it so the next batch starts fresh.
         self._pool = None
 
-    def submit_batch(self, fn, tasks) -> BatchHandle:
+    def submit_batch(self, fn, tasks, label=None, attrs=None) -> BatchHandle:
         """Dispatch the batch to the pool without waiting for results.
 
         Exporting the task arguments (the shared-memory slab exports)
@@ -285,8 +345,15 @@ class ProcessExecutor:
         """
         tasks = list(tasks)
         fast = dispatch.enabled()
+        tracing = current_tracer() is not None
         payloads = [
-            (fn, shm.export_value(task), fast) for task in tasks
+            (
+                fn,
+                shm.export_value(task),
+                fast,
+                _task_meta(label, attrs, i) if tracing else None,
+            )
+            for i, task in enumerate(tasks)
         ]
         if not payloads:
             return _ReadyBatch(fn, [])
@@ -300,16 +367,16 @@ class ProcessExecutor:
                 f"{getattr(fn, '__name__', fn)!r}; it will restart on "
                 f"the next batch (retry with REPRO_WORKERS=1 to bisect)"
             ) from exc
-        return _ProcessBatch(self, fn, futures)
+        return _ProcessBatch(self, fn, futures, label)
 
-    def run_batch(self, fn, tasks):
+    def run_batch(self, fn, tasks, label=None, attrs=None):
         """Run ``fn(*task)`` for every task across the pool, in order.
 
         ``fn`` must be a module-level function.  CSC matrices inside the
         task tuples travel through shared memory; results are gathered in
         task order, so downstream consumption is deterministic.
         """
-        return self.submit_batch(fn, tasks).result()
+        return self.submit_batch(fn, tasks, label=label, attrs=attrs).result()
 
     def close(self):
         """Shut the pool down; the executor stays usable (lazy restart)."""

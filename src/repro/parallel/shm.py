@@ -35,6 +35,7 @@ import numpy as np
 
 from ..sparse import CSCMatrix
 from ..sparse import _compressed as _c
+from ..trace import maybe_span
 
 #: Blocks whose arrays total fewer bytes than this are pickled instead of
 #: going through a shared-memory segment.
@@ -112,10 +113,13 @@ def export_csc(mat: CSCMatrix) -> tuple:
     from ..perf.cache import memo
 
     def build():
-        seg, handle = _pack(
-            mat,
-            lambda size: shared_memory.SharedMemory(create=True, size=size),
-        )
+        with maybe_span("shm_export", "shm", nbytes=total):
+            seg, handle = _pack(
+                mat,
+                lambda size: shared_memory.SharedMemory(
+                    create=True, size=size
+                ),
+            )
         fin = weakref.finalize(mat, _unlink, seg)
         _live_exports.add(fin)
         return handle
@@ -186,8 +190,12 @@ def import_csc(handle: tuple) -> CSCMatrix:
     if hit is not None:
         _attached.move_to_end(name)
         return hit[1]
-    seg = _attach(name)
-    mat = _wrap(handle, seg)
+    _, _, _, n_ptr, n_idx = handle
+    nbytes = (n_ptr + n_idx) * _c.INDEX_DTYPE().itemsize
+    nbytes += n_idx * _c.VALUE_DTYPE().itemsize
+    with maybe_span("shm_attach", "shm", nbytes=nbytes):
+        seg = _attach(name)
+        mat = _wrap(handle, seg)
     _attached[name] = (seg, mat)
     while len(_attached) > ATTACH_CACHE_SEGMENTS:
         old_seg, old_mat = _attached.popitem(last=False)[1]

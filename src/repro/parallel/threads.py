@@ -27,19 +27,36 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 
+from ..trace import current_tracer, worker_lane_name
 from .executor import (
     BatchHandle,
     _ReadyBatch,
+    _task_meta,
     enter_thread_worker,
     exit_thread_worker,
 )
 
 
-def _run_task(fn, args):
-    """Worker entry point: mark the thread, run, unmark."""
+def _run_task(fn, args, meta=None):
+    """Worker entry point: mark the thread, run, unmark.
+
+    Thread workers share the parent's tracer directly; ``meta`` (set only
+    when the parent was tracing at submit time) makes the task record its
+    span in this thread's own lane.
+    """
     enter_thread_worker()
     try:
-        return fn(*args)
+        tracer = current_tracer() if meta is not None else None
+        if tracer is None:
+            return fn(*args)
+        tracer.set_lane(worker_lane_name())
+        try:
+            with tracer.span(
+                getattr(fn, "__name__", "task"), "executor", **meta
+            ):
+                return fn(*args)
+        finally:
+            tracer.set_lane(None)
     finally:
         exit_thread_worker()
 
@@ -81,19 +98,28 @@ class ThreadExecutor:
             )
         return self._pool
 
-    def submit_batch(self, fn, tasks) -> BatchHandle:
+    def submit_batch(self, fn, tasks, label=None, attrs=None) -> BatchHandle:
         """Dispatch the batch to the pool without waiting for results."""
         tasks = list(tasks)
         if not tasks:
             return _ReadyBatch(fn, [])
+        tracing = current_tracer() is not None
         pool = self._ensure_pool()
         return _ThreadBatch(
-            [pool.submit(_run_task, fn, task) for task in tasks]
+            [
+                pool.submit(
+                    _run_task,
+                    fn,
+                    task,
+                    _task_meta(label, attrs, i) if tracing else None,
+                )
+                for i, task in enumerate(tasks)
+            ]
         )
 
-    def run_batch(self, fn, tasks):
+    def run_batch(self, fn, tasks, label=None, attrs=None):
         """Run ``fn(*task)`` for every task across the pool, in order."""
-        return self.submit_batch(fn, tasks).result()
+        return self.submit_batch(fn, tasks, label=label, attrs=attrs).result()
 
     def close(self):
         """Shut the pool down; the executor stays usable (lazy restart)."""

@@ -43,6 +43,7 @@ from ..spgemm.hashspgemm import hash_operation_count
 from ..spgemm.heap import heap_operation_count
 from ..spgemm.hybrid import KernelKind, degrade_kernel, select_kernel
 from ..spgemm.metrics import WorkProfile
+from ..trace import current_tracer, maybe_span
 from .distmatrix import DistributedCSC
 
 
@@ -326,6 +327,10 @@ def summa_multiply(
         from ..parallel import get_executor
 
         executor = get_executor(workers, backend)
+    #: The observability tracer (None in the common untraced case); all
+    #: instrumentation below is passive — it never touches rank clocks,
+    #: fault draws, or result accounting, keeping traced runs bit-identical.
+    tracer = current_tracer()
     # Real-kernel runs recompute products with the genuinely selected
     # kernel inside the accounting pass, so pre-batching would be wasted.
     parallel_stages = executor.workers > 1 and not config.run_real_kernels
@@ -420,31 +425,38 @@ def summa_multiply(
         # preparing stage k+1 early is exactly the §III prefetch.
         staged: dict[int, tuple] = {}
 
-        def submit_stage(k: int) -> None:
-            slabs: list[CSCMatrix] = []
-            slab_bytes: list[int] = []
-            for j in range(q):
-                slab, nbytes = phase_slab(k, j, p)
-                slabs.append(slab)
-                slab_bytes.append(nbytes)
-            pairs: list[tuple[int, int]] = []
-            handle = None
-            if parallel_stages:
-                from ..parallel.work import local_multiply
+        def submit_stage(k: int, prefetch: bool = False) -> None:
+            with maybe_span(
+                "prefetch" if prefetch else "submit", "summa",
+                phase=p, stage=k,
+            ) as sp:
+                slabs: list[CSCMatrix] = []
+                slab_bytes: list[int] = []
+                for j in range(q):
+                    slab, nbytes = phase_slab(k, j, p)
+                    slabs.append(slab)
+                    slab_bytes.append(nbytes)
+                pairs: list[tuple[int, int]] = []
+                handle = None
+                if parallel_stages:
+                    from ..parallel.work import local_multiply
 
-                pairs = [
-                    (i, j)
-                    for i in range(q)
-                    if dist_a.block(i, k).nnz
-                    for j in range(q)
-                    if slabs[j].nnz
-                ]
-                if pairs:
-                    handle = executor.submit_batch(
-                        local_multiply,
-                        [(dist_a.block(i, k), slabs[j]) for i, j in pairs],
-                    )
-            staged[k] = (slabs, slab_bytes, pairs, handle)
+                    pairs = [
+                        (i, j)
+                        for i in range(q)
+                        if dist_a.block(i, k).nnz
+                        for j in range(q)
+                        if slabs[j].nnz
+                    ]
+                    if pairs:
+                        handle = executor.submit_batch(
+                            local_multiply,
+                            [(dist_a.block(i, k), slabs[j]) for i, j in pairs],
+                            label=f"summa phase {p} stage {k}",
+                            attrs={"phase": p, "stage": k},
+                        )
+                sp.set(tasks=len(pairs))
+                staged[k] = (slabs, slab_bytes, pairs, handle)
 
         # Per-stage modeled durations feeding the overlap diagnostics:
         # stage-k merges overlap stage-(k+1) multiplies.
@@ -457,26 +469,31 @@ def summa_multiply(
             # -- broadcasts: A along rows, B along columns ------------------
             a_bytes_row = np.zeros(q, dtype=np.int64)
             b_bytes_col = np.zeros(q, dtype=np.int64)
-            for i in range(q):
-                members = grid.row_members(i)
-                nbytes = dist_a.block_storage_bytes(i, k)
-                a_bytes_row[i] = nbytes
-                start = max(comm.clocks[r].cpu.free_at for r in members)
-                end = comm.broadcast(members, nbytes, "summa_bcast")
-                if config.trace:
-                    result.trace.append(
-                        (grid.rank_of(i, k), p, k, "bcast_A", start, end)
-                    )
-            for j in range(q):
-                nbytes = slab_bytes[j]
-                b_bytes_col[j] = nbytes
-                members = grid.col_members(j)
-                start = max(comm.clocks[r].cpu.free_at for r in members)
-                end = comm.broadcast(members, nbytes, "summa_bcast")
-                if config.trace:
-                    result.trace.append(
-                        (grid.rank_of(k, j), p, k, "bcast_B", start, end)
-                    )
+            with maybe_span("broadcast", "summa", phase=p, stage=k) as bsp:
+                for i in range(q):
+                    members = grid.row_members(i)
+                    nbytes = dist_a.block_storage_bytes(i, k)
+                    a_bytes_row[i] = nbytes
+                    start = max(comm.clocks[r].cpu.free_at for r in members)
+                    end = comm.broadcast(members, nbytes, "summa_bcast")
+                    if config.trace:
+                        result.trace.append(
+                            (grid.rank_of(i, k), p, k, "bcast_A", start, end)
+                        )
+                for j in range(q):
+                    nbytes = slab_bytes[j]
+                    b_bytes_col[j] = nbytes
+                    members = grid.col_members(j)
+                    start = max(comm.clocks[r].cpu.free_at for r in members)
+                    end = comm.broadcast(members, nbytes, "summa_bcast")
+                    if config.trace:
+                        result.trace.append(
+                            (grid.rank_of(k, j), p, k, "bcast_B", start, end)
+                        )
+                bsp.set(
+                    bytes_a=int(a_bytes_row.sum()),
+                    bytes_b=int(b_bytes_col.sum()),
+                )
             np.maximum(
                 input_bytes_peak,
                 a_bytes_row[:, None] + b_bytes_col[None, :],
@@ -493,11 +510,18 @@ def summa_multiply(
             # straight from stage-k tasks into stage-(k+1) tasks while
             # the parent runs stage k's accounting and merge events.
             if overlap_active and k + 1 < q:
-                submit_stage(k + 1)
+                submit_stage(k + 1, prefetch=True)
                 result.prefetched_stages += 1
             stage_products = None
             if handle is not None:
-                stage_products = dict(zip(pairs, handle.result()))
+                with maybe_span(
+                    "gather", "summa", phase=p, stage=k, tasks=len(pairs)
+                ):
+                    stage_products = dict(zip(pairs, handle.result()))
+            # The whole accounting-and-merge pass is one main-lane span;
+            # with overlap armed, stage-(k+1) worker multiplies run under
+            # it — the trace's evidence of the §III pipeline.
+            merge_span = maybe_span("merge", "summa", phase=p, stage=k)
             for i in range(q):
                 a_blk = dist_a.block(i, k)
                 a_col_lens = a_blk.column_lengths()
@@ -537,6 +561,13 @@ def summa_multiply(
                             # injected faults charge the aborted staging
                             # — a genuine OOM is caught before any copy.
                             result.gpu_fallbacks += 1
+                            if tracer is not None:
+                                tracer.instant(
+                                    "fault.gpu_fallback", "resilience",
+                                    rank=rank, phase=p, stage=k,
+                                    kernel=kind.value,
+                                    injected=isinstance(exc, InjectedFault),
+                                )
                             if isinstance(exc, InjectedFault):
                                 waste = spec.h2d_time(a_blk.memory_bytes())
                                 start = max(
@@ -565,8 +596,22 @@ def summa_multiply(
                             RESILIENCE_ACCOUNT,
                         )
                         result.kernel_demotions += 1
+                        if tracer is not None:
+                            tracer.instant(
+                                "fault.kernel_demotion", "resilience",
+                                rank=rank, phase=p, stage=k,
+                                kernel=kind.value,
+                            )
                         kind = degrade_kernel(kind)
                     result.kernel_selections[kind.value] += 1
+                    if tracer is not None:
+                        tracer.metric(
+                            "kernel_dispatch", profile.flops,
+                            kernel=kind.value, cf=profile.cf,
+                            nnz_c=profile.nnz_c, rank=rank,
+                            phase=p, stage=k,
+                        )
+                        tracer.count(f"kernel.{kind.value}")
                     if kind.on_gpu:
                         # Transfer occupies both host and device; the CPU
                         # is released as soon as the inputs are on the
@@ -626,6 +671,7 @@ def summa_multiply(
                                 (rank, p, k, "merge", end - dur, end)
                             )
                     state.mark_charged()
+            merge_span.close()
             if not config.pipelined:
                 comm.barrier()
         if acct is not None:
@@ -635,6 +681,7 @@ def summa_multiply(
                 )
         # -- phase wrap-up: final merges, callback -----------------------------
         phase_blocks: dict[tuple[int, int], CSCMatrix] = {}
+        finish_span = maybe_span("finish_merge", "summa", phase=p)
         for (i, j), state in merge_states.items():
             rank = grid.rank_of(i, j)
             clock = comm.clocks[rank]
@@ -659,8 +706,10 @@ def summa_multiply(
                 + int(input_bytes_peak[i, j]),
             )
             phase_blocks[(i, j)] = outcome.result.to_csc()
+        finish_span.close()
         if phase_callback is not None:
-            phase_blocks = phase_callback(phase_blocks, p)
+            with maybe_span("phase_callback", "summa", phase=p):
+                phase_blocks = phase_callback(phase_blocks, p)
         for key, blk in phase_blocks.items():
             kept_slabs[key].append(blk)
         if not config.pipelined:

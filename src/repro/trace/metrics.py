@@ -1,0 +1,74 @@
+"""The metrics stream: timestamped samples with structured attributes.
+
+A :class:`MetricEvent` is one observation — a kernel dispatch with its
+``flops``/``cf``, an estimator pass with bound-vs-actual, an iteration's
+``nnz``/``chaos`` — stamped with both clocks (wall and simulated, the
+latter ``None`` outside a simulated-clock scope).  The stream is ordered
+by recording time and exports to NDJSON (one JSON object per line; see
+``docs/observability.md`` for the schema) so it can be tailed, grepped,
+or loaded into a dataframe without a parser.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MetricEvent:
+    """One sample on the metrics stream."""
+
+    name: str
+    value: object
+    t_wall: float
+    t_sim: float | None = None
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = {
+            "name": self.name,
+            "value": _jsonable(self.value),
+            "t_wall": self.t_wall,
+        }
+        if self.t_sim is not None:
+            out["t_sim"] = self.t_sim
+        if self.attrs:
+            out["attrs"] = _jsonable(self.attrs)
+        return out
+
+
+def _jsonable(value):
+    """Best-effort conversion of attribute values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (str, bool)) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    try:  # numpy scalars expose .item()
+        return value.item()
+    except AttributeError:
+        return str(value)
+
+
+def write_metrics_ndjson(events: list[MetricEvent], path) -> int:
+    """Write the stream as NDJSON; returns the number of lines written."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+            fh.write("\n")
+    return len(events)
+
+
+def read_metrics_ndjson(path) -> list[dict]:
+    """Load an NDJSON metrics stream back into dicts (tools, tests)."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out

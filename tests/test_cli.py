@@ -123,6 +123,48 @@ def test_cluster_abc_file_with_labels(tmp_path, capsys):
     assert lines == ["P1\tP2\tP3", "P4\tP5\tP6"]
 
 
+def test_cluster_trace_export(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.ndjson"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    capsys.readouterr()
+    base_args = ["cluster", str(net_path), "--mode", "optimized",
+                 "--nodes", "4", "--select", "12"]
+    assert main(base_args) == 0
+    expected = capsys.readouterr().out
+    assert (
+        main(base_args + ["--trace", str(trace_path),
+                          "--metrics", str(metrics_path)])
+        == 0
+    )
+    out = capsys.readouterr()
+    assert out.out == expected  # tracing must not perturb the clustering
+    assert "trace events" in out.err and "metric events" in out.err
+
+    import json
+
+    events = json.loads(trace_path.read_text())["traceEvents"]
+    assert any(e.get("ph") == "X" for e in events)
+    from repro.trace import read_metrics_ndjson
+
+    rows = read_metrics_ndjson(metrics_path)
+    assert any(r["name"] == "iteration.nnz" for r in rows)
+
+
+def test_cluster_trace_flags_need_distributed_mode(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    capsys.readouterr()
+    for extra in (["--trace", str(tmp_path / "t.json")],
+                  ["--metrics", str(tmp_path / "m.ndjson")]):
+        assert (
+            main(["cluster", str(net_path), "--mode", "reference"] + extra)
+            == 2
+        )
+        assert "distributed --mode" in capsys.readouterr().err
+
+
 def test_cluster_fault_injection_matches_clean_run(tmp_path, capsys):
     net_path = tmp_path / "net.mtx"
     main(["generate", "planted:120:10", "-o", str(net_path)])

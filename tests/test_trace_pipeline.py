@@ -1,0 +1,257 @@
+"""Pipeline-level acceptance for the observability layer.
+
+Two contracts, end to end.  First, tracing is *passive*: a traced run
+must be bit-identical to the untraced serial reference in every cell of
+the ``(backend, workers, overlap)`` matrix — same labels, same simulated
+seconds, same per-iteration trajectory, same kernel selections.  Second,
+tracing is *faithful*: the recorded spans nest correctly on both clocks,
+worker lanes appear for pool backends, and on the phased network the
+pipelined scheduler's prefetch genuinely overlaps the previous stage's
+merge (ISSUE 5 acceptance evidence, via :func:`overlap_pairs`).
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.mcl.hipmcl import HipMCLConfig, hipmcl
+from repro.mcl.options import MclOptions
+from repro.nets import planted_network
+from repro.resilience import FaultPlan, divergence
+from repro.trace import (
+    MAIN_LANE,
+    NULL_SPAN,
+    Tracer,
+    chrome_trace_events,
+    current_tracer,
+    maybe_span,
+    overlap_pairs,
+)
+
+ROOT = Path(__file__).resolve().parents[1]
+
+BACKENDS = ("serial", "thread", "process")
+OVERLAPS = (False, True)
+CELLS = [(be, ov) for be in BACKENDS for ov in OVERLAPS]
+CELL_IDS = [f"{be}-{'overlap' if ov else 'sync'}" for be, ov in CELLS]
+
+CHAOS_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def net():
+    # The multi-phase regime on a 4x4 grid (same construction as
+    # test_backend_matrix's "phased" net): four SUMMA stages per phase,
+    # so prefetch/merge overlap is real, not vacuous.
+    mat = planted_network(120, intra_degree=10.0, inter_degree=1.5, seed=5)
+    cfg = HipMCLConfig(nodes=16, memory_budget_bytes=64 * 1024)
+    return mat.matrix, cfg
+
+
+@pytest.fixture(scope="module")
+def opts():
+    return MclOptions(select_number=20)
+
+
+@pytest.fixture(scope="module")
+def reference(net, opts):
+    """The untraced serial run every traced cell must reproduce."""
+    mat, cfg = net
+    return hipmcl(mat, opts, cfg, workers=1)
+
+
+@pytest.fixture(scope="module")
+def traced(net, opts):
+    """One traced run per matrix cell: {(backend, overlap): (res, tracer)}."""
+    mat, cfg = net
+    out = {}
+    for backend, overlap in CELLS:
+        tracer = Tracer()
+        res = hipmcl(
+            mat, opts, cfg, workers=2, backend=backend, overlap=overlap,
+            trace=tracer,
+        )
+        out[(backend, overlap)] = (res, tracer)
+    return out
+
+
+def assert_spans_nest(spans):
+    by_id = {s.id: s for s in spans}
+    for s in spans:
+        assert s.t1_wall >= s.t0_wall
+        if s.t0_sim is not None and s.t1_sim is not None:
+            assert s.t1_sim >= s.t0_sim
+        if s.parent is not None:
+            p = by_id[s.parent]
+            assert p.t0_wall <= s.t0_wall and s.t1_wall <= p.t1_wall
+            if None not in (s.t0_sim, s.t1_sim, p.t0_sim, p.t1_sim):
+                assert p.t0_sim <= s.t0_sim and s.t1_sim <= p.t1_sim
+
+
+@pytest.mark.parametrize(("backend", "overlap"), CELLS, ids=CELL_IDS)
+class TestTracedMatrix:
+    def test_bit_identical_to_untraced(self, net, opts, reference, traced,
+                                       backend, overlap):
+        run, _ = traced[(backend, overlap)]
+        assert np.array_equal(run.labels, reference.labels)
+        assert run.elapsed_seconds == reference.elapsed_seconds
+        assert run.kernel_selections == reference.kernel_selections
+        assert run.converged == reference.converged
+        assert divergence(reference, run) == []
+
+    def test_spans_cover_the_iteration_loop(self, traced, backend, overlap):
+        run, tracer = traced[(backend, overlap)]
+        assert len(tracer.find("hipmcl")) == 1
+        for name in ("estimate", "expansion", "inflation", "prune"):
+            assert tracer.find(name, iteration=1), name  # iterations are 1-based
+        assert len(tracer.find("expansion")) == len(run.history)
+        # SUMMA internals under the expansion: per-phase/stage spans.
+        assert tracer.find("broadcast", phase=0, stage=0)
+        assert tracer.find("merge", phase=0, stage=0)
+
+    def test_dual_clocks_and_nesting(self, traced, backend, overlap):
+        run, tracer = traced[(backend, overlap)]
+        assert_spans_nest(tracer.spans)
+        exp = tracer.find("expansion")[-1]
+        assert exp.t0_sim is not None and exp.t1_sim is not None
+        # The simulated clock in the trace is the run's own clock.
+        assert exp.t1_sim <= run.elapsed_seconds
+
+    def test_metrics_stream_records_iterations(self, traced, backend,
+                                               overlap):
+        run, tracer = traced[(backend, overlap)]
+        nnz = [m for m in tracer.metrics if m.name == "iteration.nnz"]
+        assert [m.value for m in nnz] == [h.nnz_pruned for h in run.history]
+        assert nnz[0].attrs["chaos"] == run.history[0].chaos
+        dispatches = [m for m in tracer.metrics
+                      if m.name == "kernel_dispatch"]
+        assert len(dispatches) > 0
+        assert {"kernel", "cf", "nnz_c"} <= set(dispatches[0].attrs)
+        assert dispatches[0].value > 0  # the dispatched multiply's flops
+        bounds = [m for m in tracer.metrics if m.name == "estimator.bound"]
+        assert len(bounds) == len(run.history)
+        # Kernel counters agree with the result's own accounting.
+        for kind, n in run.kernel_selections.items():
+            if n:
+                assert tracer.counters.get(f"kernel.{kind}") == n
+
+    def test_worker_lanes(self, traced, backend, overlap):
+        _, tracer = traced[(backend, overlap)]
+        lanes = tracer.lanes()
+        assert lanes[0] == MAIN_LANE
+        if backend == "serial":
+            assert lanes == [MAIN_LANE]
+        else:
+            assert len(lanes) >= 2  # distinct worker lanes
+            assert all(lane.startswith("worker-") for lane in lanes[1:])
+
+
+class TestOverlapEvidence:
+    """ISSUE 5 acceptance: the trace *shows* the pipelining."""
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_prefetch_overlaps_previous_merge(self, traced, backend):
+        _, tracer = traced[(backend, True)]
+        assert tracer.find("prefetch"), "armed scheduler recorded no prefetch"
+        pairs = overlap_pairs(tracer)
+        assert len(pairs) >= 1, (
+            "no stage-(k+1) local_multiply span overlapped a stage-k "
+            "merge span in wall time"
+        )
+        for task, merge in pairs:
+            assert task.lane != MAIN_LANE
+            assert task.attrs["stage"] == merge.attrs["stage"] + 1
+            assert task.overlaps(merge)
+
+    def test_sync_runs_have_no_prefetch_spans(self, traced):
+        for backend in BACKENDS:
+            _, tracer = traced[(backend, False)]
+            assert not tracer.find("prefetch")
+
+    def test_chrome_export_draws_worker_lanes(self, traced):
+        _, tracer = traced[("process", True)]
+        events = chrome_trace_events(tracer)
+        thread_names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "thread_name" and e["pid"] == 1
+        }
+        workers = {n for n in thread_names if n.startswith("worker-")}
+        assert MAIN_LANE in thread_names
+        assert len(workers) >= 1
+
+
+class TestChaosTraced:
+    def test_fault_injection_identity_and_events(self, net, opts):
+        mat, cfg = net
+        plan = FaultPlan.chaos(CHAOS_SEED, intensity=0.3)
+        ref = hipmcl(mat, opts, cfg, workers=1, faults=plan)
+        tracer = Tracer()
+        run = hipmcl(
+            mat, opts, cfg, workers=2, backend="process", overlap=True,
+            faults=plan, trace=tracer,
+        )
+        assert run.faults_injected == ref.faults_injected
+        assert sum(run.faults_injected.values()) > 0
+        assert np.array_equal(run.labels, ref.labels)
+        assert run.elapsed_seconds == ref.elapsed_seconds
+        # Injected faults leave instants on the resilience category.
+        assert any(s.cat == "resilience" for s in tracer.spans)
+
+
+class TestExecutorCrashLabel:
+    def test_error_names_the_failed_task(self):
+        import os
+
+        from repro.parallel import ExecutorError, get_executor
+
+        ex = get_executor(2)
+        with pytest.raises(ExecutorError) as err:
+            ex.run_batch(os._exit, [(3,)], label="summa phase 0 stage 2")
+        msg = str(err.value)
+        assert "summa phase 0 stage 2" in msg
+        assert "task #" in msg
+        assert "REPRO_WORKERS=1" in msg  # the bisect hint survives
+        assert ex.run_batch(pow, [(2, 4)], label="recovery") == [16]
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: tracing off must cost nothing measurable
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.tier2_perf
+def test_disabled_tracing_overhead():
+    """Instrumentation with no active tracer stays under the perf gate.
+
+    The disabled path is one module-global read plus a cached no-op
+    singleton; referenced from ``_NullSpan``'s docstring as the thing
+    that keeps instrumented hot loops inside the noise floor.
+    """
+    assert current_tracer() is None
+    assert maybe_span("probe", "cat", k=1) is NULL_SPAN  # cached, not built
+
+    # Micro: the per-call cost of a disabled maybe_span is sub-microsecond.
+    n = 200_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with maybe_span("hot", "loop", stage=0):
+            pass
+    per_call = (time.perf_counter() - t0) / n
+    assert per_call < 2e-6, f"disabled span costs {per_call * 1e9:.0f}ns"
+
+    # Macro: an untraced end-to-end run (instrumentation compiled in,
+    # tracer off) stays within the perf gate's envelope of the committed
+    # BENCH_PR4.json baseline recorded before this layer existed.
+    from repro.bench.perfbench import DEFAULT_TOLERANCE, bench_end_to_end
+
+    baseline = json.loads((ROOT / "BENCH_PR4.json").read_text())
+    base_s = baseline["end_to_end"]["eukarya-xs"]["seconds"]
+    now_s = bench_end_to_end("eukarya-xs", repeats=3, workers=1)["seconds"]
+    assert now_s <= base_s * (1.0 + DEFAULT_TOLERANCE), (
+        f"untraced eukarya-xs run {now_s:.2f}s vs baseline {base_s:.2f}s "
+        f"exceeds the {DEFAULT_TOLERANCE * 100:.0f}% gate"
+    )

@@ -1,7 +1,11 @@
 """Tests for the util subpackage."""
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.util import (
     VirtualStopwatch,
@@ -130,3 +134,79 @@ class TestStopwatch:
         snap = sw.split()
         sw.charge("a", 1.0)
         assert snap["a"] == 1.0
+
+
+#: One stopwatch operation: a charge to one of a few accounts, or an
+#: advance_to some absolute time (possibly in the past — a no-op then).
+_stopwatch_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("charge"),
+            st.sampled_from(["a", "b", "c"]),
+            st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(
+            st.just("advance"),
+            st.just(""),
+            st.floats(0.0, 1e7, allow_nan=False, allow_infinity=False),
+        ),
+    ),
+    max_size=40,
+)
+
+
+class TestStopwatchProperties:
+    """Hypothesis invariants of the simulated clock's building block.
+
+    The whole machine model stands on these: the dual-clock tracer's
+    simulated timestamps are read off stopwatch-backed rank clocks, so
+    monotonicity and conservation here are what make the trace's
+    simulated lanes meaningful.
+    """
+
+    @given(ops=_stopwatch_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_now_is_monotonic(self, ops):
+        sw = VirtualStopwatch()
+        prev = sw.now
+        for kind, account, value in ops:
+            if kind == "charge":
+                sw.charge(account, value)
+            else:
+                sw.advance_to(value)
+            assert sw.now >= prev
+            prev = sw.now
+
+    @given(ops=_stopwatch_ops)
+    @settings(max_examples=200, deadline=None)
+    def test_account_totals_equal_now(self, ops):
+        """Every second on the clock is billed to exactly one account."""
+        sw = VirtualStopwatch()
+        for kind, account, value in ops:
+            if kind == "charge":
+                sw.charge(account, value)
+            else:
+                sw.advance_to(value)
+        total = sum(sw.accounts.values())
+        assert math.isclose(total, sw.now, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(ops=_stopwatch_ops, t=st.floats(0.0, 1e7, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_advance_to_clamps_and_idles(self, ops, t):
+        """advance_to never rewinds; the skipped interval is billed idle."""
+        sw = VirtualStopwatch()
+        for kind, account, value in ops:
+            if kind == "charge":
+                sw.charge(account, value)
+            else:
+                sw.advance_to(value)
+        before = sw.now
+        idle_before = sw.accounts.get("idle", 0.0)
+        sw.advance_to(t)
+        assert sw.now == max(before, t)
+        assert math.isclose(
+            sw.accounts.get("idle", 0.0) - idle_before,
+            max(0.0, t - before),
+            rel_tol=1e-9,
+            abs_tol=1e-12,
+        )

@@ -36,6 +36,7 @@ from repro.bench.perfbench import (  # noqa: E402
     remeasure_into,
     run_perfbench,
     save_report,
+    trace_benchmark,
 )
 
 
@@ -86,6 +87,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--repeats", type=int, default=5,
         help="micro-benchmark repeats, best-of (default 5)",
+    )
+    parser.add_argument(
+        "--trace-dir", type=Path, default=ROOT,
+        help="where --check drops trace-<benchmark>.json timelines for "
+        "confirmed regressions (default: repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -151,6 +157,23 @@ def main(argv=None) -> int:
                 )
         bad = regressions(report, baseline, args.tolerance)
     if bad:
+        # Ship evidence with the failure: re-run each confirmed
+        # end-to-end/scaling regression under the observability tracer
+        # and drop a Perfetto-loadable timeline next to the repo root.
+        from repro.trace import write_chrome_trace
+
+        for c in bad:
+            tracer = trace_benchmark(c.name, workers=args.workers)
+            if tracer is None:
+                continue
+            path = args.trace_dir / (
+                "trace-" + c.name.replace("/", "-") + ".json"
+            )
+            n_events = write_chrome_trace(tracer, path)
+            print(
+                f"wrote {path} ({n_events} events) — load in Perfetto "
+                "to see where the regressed run spends its time"
+            )
         print(
             f"FAIL: {len(bad)} benchmark(s) regressed more than "
             f"{args.tolerance * 100:.0f}% vs {args.baseline.name}",
