@@ -6,7 +6,9 @@ regressions in the numeric kernels are caught in review.  It runs
 
 * end-to-end HipMCL on three catalog networks,
 * six microbenchmarks, one per fast-path kernel family
-  (esc, hash, merge, prune, estimator, components), and
+  (esc, hash, merge, prune, estimator, components),
+* a parallel-SpKAdd merge sweep: :func:`repro.merge.spkadd.spkadd_merge`
+  timed over list count × nnz skew × worker count, and
 * a worker-scaling sweep: the densest network end-to-end under each
   pool execution backend (threads and processes) at 1, 2 and 4 workers,
 
@@ -23,6 +25,11 @@ fields and nested the scaling section per backend
 (``scaling/{net}/{backend}/w{N}``).  Version-2 baselines (process-only
 scaling, ``scaling/{net}/w{N}``) remain comparable: a schema-3 report
 flattens its process-backend scaling rows under the legacy names too.
+Version 4 added the ``merge_impl`` field and the ``merge_sweep``
+section — the parallel-SpKAdd micro-sweep over list count × nnz skew ×
+worker count.  Schema-3 baselines lack those rows, so a ``--check``
+against one simply compares the shared names (the merge sweep is gated
+only once a schema-4 baseline is recorded).
 
 Wall-clock on shared machines is noisy: every measurement is the best of
 ``repeats`` runs after one warmup, and the comparison uses a generous
@@ -49,9 +56,17 @@ SCALING_NET = "isom100-3-xs"
 SCALING_WORKERS = (1, 2, 4)
 SCALING_BACKENDS = ("thread", "process")
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 #: Baseline schema versions this harness can still compare against.
-SUPPORTED_SCHEMAS = (2, 3)
+SUPPORTED_SCHEMAS = (2, 3, 4)
+
+#: The merge micro-sweep: k partial lists × nnz skew × worker count.
+#: "skewed" gives list 0 ten times the density of the rest — the shape
+#: SUMMA produces when one broadcast slab dominates a stage batch.
+MERGE_SWEEP_K = (4, 16)
+MERGE_SWEEP_SKEWS = ("uniform", "skewed")
+MERGE_SWEEP_WORKERS = (1, 4)
+MERGE_SWEEP_SHAPE = (3000, 3000)
 
 #: Fractional slowdown vs the baseline that counts as a regression.
 DEFAULT_TOLERANCE = 0.25
@@ -176,6 +191,41 @@ def _micro_components():
     return lambda: connected_components(mat)
 
 
+def _merge_sweep_lists(k: int, skew: str) -> list:
+    """The k input :class:`TripleList`\\ s for one merge-sweep cell."""
+    from ..merge.lists import TripleList
+    from ..sparse import random_csc
+
+    dens = (
+        [0.002] * k
+        if skew == "uniform"
+        else [0.008] + [0.0008] * (k - 1)
+    )
+    return [
+        TripleList.from_csc(
+            random_csc(MERGE_SWEEP_SHAPE, dens[i], seed=40 + i)
+        )
+        for i in range(k)
+    ]
+
+
+def bench_merge_cell(
+    k: int, skew: str, workers: int, repeats: int = 5
+) -> dict:
+    """Time one parallel-SpKAdd cell: hash strategy, thread fan-out."""
+    from ..merge.spkadd import spkadd_merge
+    from ..parallel import get_executor
+
+    lists = _merge_sweep_lists(k, skew)
+    # get_executor caches pools per (count, backend); never close it here.
+    executor = get_executor(workers, "thread") if workers > 1 else None
+
+    def run():
+        spkadd_merge(list(lists), strategy="hash", executor=executor)
+
+    return {"seconds": _best_of(run, repeats)}
+
+
 MICROBENCHMARKS = {
     "esc": _micro_esc,
     "hash": _micro_hash,
@@ -213,6 +263,7 @@ def run_perfbench(
     ``scaling=False`` skips the sweep (it costs six extra end-to-end
     runs of :data:`SCALING_NET`).
     """
+    from ..merge.spkadd import resolve_merge_impl
     from ..parallel import resolve_backend, resolve_overlap, resolve_workers
     from ..perf import dispatch
 
@@ -222,10 +273,12 @@ def run_perfbench(
         "workers": resolve_workers(workers),
         "backend": resolve_backend(backend),
         "overlap": resolve_overlap(overlap),
+        "merge_impl": resolve_merge_impl(None),
         "numpy": np.__version__,
         "python": platform.python_version(),
         "end_to_end": {},
         "micro": {},
+        "merge_sweep": {},
         "scaling": {},
     }
     for net in nets:
@@ -239,6 +292,16 @@ def run_perfbench(
         report["micro"][name] = bench_micro(name, repeats=repeats)
         if log:
             log(f"micro {name}: {report['micro'][name]['seconds'] * 1e3:.1f}ms")
+    for k in MERGE_SWEEP_K:
+        for skew in MERGE_SWEEP_SKEWS:
+            for w in MERGE_SWEEP_WORKERS:
+                cell = f"k{k}-{skew}-w{w}"
+                report["merge_sweep"][cell] = bench_merge_cell(
+                    k, skew, w, repeats=repeats
+                )
+                if log:
+                    log(f"merge {cell}: "
+                        f"{report['merge_sweep'][cell]['seconds'] * 1e3:.1f}ms")
     if scaling:
         per_backend = report["scaling"][SCALING_NET] = {}
         for be in SCALING_BACKENDS:
@@ -281,6 +344,10 @@ def _flatten(report: dict) -> dict:
         out[f"end_to_end/{net}"] = float(row["seconds"])
     for name, row in report.get("micro", {}).items():
         out[f"micro/{name}"] = float(row["seconds"])
+    for cell, row in report.get("merge_sweep", {}).items():
+        # Schema 4.  Absent from older reports, so a schema-3 baseline
+        # pairing simply never sees these names.
+        out[f"merge_sweep/{cell}"] = float(row["seconds"])
     for net, counts in report.get("scaling", {}).items():
         for key, row in counts.items():
             if _is_scaling_row(row):
@@ -340,6 +407,12 @@ def remeasure_into(
         elif parts[0] == "micro" and len(parts) == 2:
             sec = bench_micro(parts[1], repeats=repeats)["seconds"]
             row = report["micro"][parts[1]]
+        elif parts[0] == "merge_sweep" and len(parts) == 2:
+            kk, skew, wk = parts[1].split("-")
+            sec = bench_merge_cell(
+                int(kk[1:]), skew, int(wk[1:]), repeats=repeats
+            )["seconds"]
+            row = report["merge_sweep"][parts[1]]
         elif parts[0] == "scaling" and len(parts) == 3:
             # Legacy schema-2 name: the process-backend sweep.
             net, wk = parts[1], parts[2]
@@ -388,6 +461,7 @@ def trace_benchmark(name: str, workers: int | str | None = None):
             bench_end_to_end(parts[1], repeats=1, workers=int(parts[3][1:]),
                              backend=parts[2], trace=tracer)
         else:
+            # micro / merge_sweep cells have no pipeline worth a timeline.
             return None
     except (KeyError, ValueError):
         return None
@@ -445,6 +519,20 @@ def validate_report(report) -> list[str]:
                 problems.append(
                     f"{section}/{name} lacks a numeric 'seconds' field"
                 )
+    # merge_sweep arrived with schema 4; older reports simply lack it.
+    sweep = report.get("merge_sweep")
+    if sweep is not None:
+        if not isinstance(sweep, dict):
+            problems.append("malformed 'merge_sweep' section")
+        else:
+            for cell, row in sweep.items():
+                if not (
+                    isinstance(row, dict)
+                    and isinstance(row.get("seconds"), (int, float))
+                ):
+                    problems.append(
+                        f"merge_sweep/{cell} lacks a numeric 'seconds' field"
+                    )
     scaling = report.get("scaling", {})
     if not isinstance(scaling, dict):
         problems.append("malformed 'scaling' section")

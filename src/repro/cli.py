@@ -108,6 +108,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "REPRO_OVERLAP or off)",
     )
     clu.add_argument(
+        "--merge-impl", choices=["serial", "tree", "hash", "auto"],
+        help="SpKAdd engine for the expansion's merges: serial, "
+        "column-partitioned tree or hash (fanned across --workers), or "
+        "auto (pick from the memory model); results are bit-identical "
+        "for every choice (default: REPRO_MERGE_IMPL or auto)",
+    )
+    clu.add_argument(
         "--trace", metavar="FILE",
         help="record the run with the observability tracer and write a "
         "Chrome trace-event JSON (load in Perfetto; distributed modes "
@@ -182,6 +189,7 @@ def _cmd_cluster(args) -> int:
             (args.workers, "--workers"),
             (args.backend, "--backend"),
             (args.overlap, "--overlap"),
+            (args.merge_impl, "--merge-impl"),
             (args.trace, "--trace"),
             (args.metrics, "--metrics"),
         ):
@@ -236,6 +244,7 @@ def _cmd_cluster(args) -> int:
                 workers=args.workers,
                 backend=args.backend,
                 overlap=args.overlap,
+                merge_impl=args.merge_impl,
                 trace=tracer,
             )
         except ConvergenceError as exc:

@@ -274,6 +274,9 @@ class HipMCLResult:
     #: CPU-hash -> heap kernel demotions (GPU demotions are
     #: ``gpu_fallbacks``).
     kernel_demotions: int = 0
+    #: Injected merge-memory overruns absorbed by the SpKAdd strategy
+    #: ladder (hash -> tree -> serial).
+    merge_demotions: int = 0
     #: Per-site injection counts from the fault injector, if any.
     faults_injected: dict[str, int] = field(default_factory=dict)
     #: Messages from the runtime invariant validators (empty when off/clean).
@@ -458,6 +461,7 @@ def hipmcl(
     workers: int | str | None = None,
     backend: str | None = None,
     overlap: bool | str | None = None,
+    merge_impl: str | None = None,
     trace=None,
 ) -> HipMCLResult:
     """Run distributed MCL on the simulated machine and cluster ``matrix``.
@@ -498,6 +502,14 @@ def hipmcl(
         memory budget.  Every combination produces bit-identical
         results — parallelism relocates computation without reordering
         any reduction.
+    merge_impl:
+        SpKAdd engine for the expansion's physical merges — ``"serial"``,
+        ``"tree"``, ``"hash"``, or ``"auto"`` (default
+        ``REPRO_MERGE_IMPL``, else auto: pick from the estimator's memory
+        model and fall down the hash → tree → serial ladder when the
+        budget has no room).  Another wall-clock knob like ``backend``:
+        every choice is bit-identical, tree/hash merely fan the merge's
+        column partitions across the executor's workers.
     trace:
         A :class:`repro.trace.Tracer` to record the run into.  The driver
         activates it for the duration of the call, installs the run's
@@ -518,6 +530,7 @@ def hipmcl(
         workers=workers,
         backend=backend,
         overlap=overlap,
+        merge_impl=merge_impl,
     )
     if trace is None:
         return _hipmcl_run(matrix, options, config, **kwargs)
@@ -544,6 +557,7 @@ def _hipmcl_run(
     workers: int | str | None = None,
     backend: str | None = None,
     overlap: bool | str | None = None,
+    merge_impl: str | None = None,
 ) -> HipMCLResult:
     """The driver body behind :func:`hipmcl` (tracer already active)."""
     wall_start = _time.perf_counter()
@@ -588,6 +602,13 @@ def _hipmcl_run(
         if policy is None or policy.degrade_kernels
         else None
     )
+    # Same rationale for the merge-overrun site: its only recovery is the
+    # SpKAdd strategy ladder.
+    merge_injector = (
+        injector
+        if policy is None or policy.degrade_merge
+        else None
+    )
 
     history: list[HipMCLIteration] = []
     converged = False
@@ -601,6 +622,7 @@ def _hipmcl_run(
     estimator_fallbacks = 0
     phase_split_retries = 0
     kernel_demotions = 0
+    merge_demotions = 0
     checkpoints_written = 0
     resumed_from_iteration = 0
     elapsed_offset = 0.0
@@ -635,6 +657,7 @@ def _hipmcl_run(
         estimator_fallbacks = int(c.get("estimator_fallbacks", 0))
         phase_split_retries = int(c.get("phase_split_retries", 0))
         kernel_demotions = int(c.get("kernel_demotions", 0))
+        merge_demotions = int(c.get("merge_demotions", 0))
     else:
         work = prepare_matrix(matrix, options)
     n = work.nrows
@@ -814,11 +837,14 @@ def _hipmcl_run(
                 executor=executor,
                 overlap=overlap,
                 overlap_budget_bytes=config.memory_budget_bytes,
+                merge_impl=merge_impl,
+                merge_injector=merge_injector,
             )
             for k, v in summa_res.kernel_selections.items():
                 kernel_selections[k] = kernel_selections.get(k, 0) + v
             gpu_fallbacks += summa_res.gpu_fallbacks
             kernel_demotions += summa_res.kernel_demotions
+            merge_demotions += summa_res.merge_demotions
             peak_rank_resident_bytes = max(
                 peak_rank_resident_bytes, summa_res.max_rank_resident_bytes
             )
@@ -964,6 +990,7 @@ def _hipmcl_run(
                         "estimator_fallbacks": estimator_fallbacks,
                         "phase_split_retries": phase_split_retries,
                         "kernel_demotions": kernel_demotions,
+                        "merge_demotions": merge_demotions,
                     },
                     fingerprint=fingerprint,
                 ),
@@ -1007,6 +1034,7 @@ def _hipmcl_run(
         estimator_fallbacks=estimator_fallbacks,
         phase_split_retries=phase_split_retries,
         kernel_demotions=kernel_demotions,
+        merge_demotions=merge_demotions,
         faults_injected=injector.counts() if injector is not None else {},
         invariant_violations=(
             list(checker.violations) if checker is not None else []

@@ -3,7 +3,10 @@
 :class:`TripleList` is the sorted coordinate-list representation of one
 stage's partial result; the three merge *schedules* (multiway, immediate
 two-way, and the paper's binary merge) consume the per-stage stream and
-report exact memory peaks plus modeled operation counts.
+report exact memory peaks plus modeled operation counts.  The SpKAdd
+module adds column-partitioned tree/hash merge engines (arXiv:2112.10223)
+that fan the physical merge across executor workers while staying
+bit-identical to :func:`merge_lists`.
 """
 
 from .lists import BYTES_PER_TRIPLE, TripleList, merge_lists
@@ -15,6 +18,16 @@ from .schedule import (
     MultiwayMergeSchedule,
     TwoWayMergeSchedule,
     run_schedule,
+)
+from .spkadd import (
+    MERGE_IMPLS,
+    SPKADD_MIN_ELEMENTS,
+    STRATEGY_LADDER,
+    merge_range,
+    partition_bounds,
+    resolve_merge_impl,
+    spkadd_merge,
+    strategy_peak_bytes,
 )
 
 __all__ = [
@@ -28,4 +41,12 @@ __all__ = [
     "TwoWayMergeSchedule",
     "BinaryMergeSchedule",
     "run_schedule",
+    "MERGE_IMPLS",
+    "STRATEGY_LADDER",
+    "SPKADD_MIN_ELEMENTS",
+    "resolve_merge_impl",
+    "strategy_peak_bytes",
+    "partition_bounds",
+    "merge_range",
+    "spkadd_merge",
 ]

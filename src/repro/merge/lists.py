@@ -43,6 +43,7 @@ class TripleList:
         self.cols = np.ascontiguousarray(self.cols, dtype=_c.INDEX_DTYPE)
         self.rows = np.ascontiguousarray(self.rows, dtype=_c.INDEX_DTYPE)
         self.vals = np.ascontiguousarray(self.vals, dtype=_c.VALUE_DTYPE)
+        self._memo = None  # per-instance cache slot (repro.perf.cache.memo)
 
     def __len__(self) -> int:
         return len(self.vals)
@@ -52,10 +53,18 @@ class TripleList:
         return len(self) * BYTES_PER_TRIPLE
 
     @classmethod
-    def from_csc(cls, mat: CSCMatrix) -> "TripleList":
-        """Flatten a CSC block into its sorted triple list."""
+    def from_csc(cls, mat: CSCMatrix, copy: bool = True) -> "TripleList":
+        """Flatten a CSC block into its sorted triple list.
+
+        ``copy=False`` shares the CSC's index/data arrays instead of
+        copying them — safe whenever neither side mutates (both types
+        treat their arrays as frozen after construction), and it drops
+        two O(nnz) copies per SUMMA stage.
+        """
         cols = _c.expand_major(mat.indptr, mat.ncols)
-        return cls(mat.shape, cols, mat.indices.copy(), mat.data.copy())
+        if copy:
+            return cls(mat.shape, cols, mat.indices.copy(), mat.data.copy())
+        return cls(mat.shape, cols, mat.indices, mat.data)
 
     @classmethod
     def empty(cls, shape) -> "TripleList":
@@ -79,7 +88,7 @@ class TripleList:
         return bool(np.all(np.diff(key) > 0))
 
 
-def merge_lists(lists: list[TripleList]) -> TripleList:
+def merge_lists(lists: list[TripleList], copy: bool = True) -> TripleList:
     """Merge sorted triple lists into one, summing duplicate coordinates.
 
     This is the *numeric engine* every merge schedule (two-way, multiway,
@@ -89,6 +98,10 @@ def merge_lists(lists: list[TripleList]) -> TripleList:
     k-way merge), or the dense-scatter fast path when enabled — both sum
     colliding coordinates in concatenation order, so the results are
     bit-identical.  Exact zeros produced by cancellation are kept.
+
+    ``copy=False`` lets the single-list short-circuit return a view-backed
+    list sharing the input's arrays (the k >= 2 paths always build fresh
+    arrays); use it when the caller treats the inputs as frozen.
     """
     if not lists:
         raise ValueError("merge_lists needs at least one (possibly empty) list")
@@ -101,7 +114,9 @@ def merge_lists(lists: list[TripleList]) -> TripleList:
             raise ShapeError(f"block shape mismatch: {t.shape} vs {shape}")
     if len(lists) == 1:
         t = lists[0]
-        return TripleList(shape, t.cols.copy(), t.rows.copy(), t.vals.copy())
+        if copy:
+            return TripleList(shape, t.cols.copy(), t.rows.copy(), t.vals.copy())
+        return TripleList(shape, t.cols, t.rows, t.vals)
     if dispatch.enabled():
         return TripleList(shape, *merge_triples_fast(lists, shape))
     cols = np.concatenate([t.cols for t in lists])

@@ -72,10 +72,17 @@ def _heap_merge_ops(sizes: list[int]) -> float:
 
 
 class _ScheduleBase:
-    """Shared bookkeeping: event log, residency tracking, finish()."""
+    """Shared bookkeeping: event log, residency tracking, finish().
 
-    def __init__(self, shape: tuple[int, int]):
+    ``merge_fn`` swaps the numeric engine (default :func:`merge_lists`)
+    without touching the schedule's accounting — every replacement must be
+    bit-identical (the SpKAdd engines are), so events, operations, and
+    peaks stay the same whatever engine physically runs.
+    """
+
+    def __init__(self, shape: tuple[int, int], merge_fn=None):
         self.shape = shape
+        self._merge = merge_fn if merge_fn is not None else merge_lists
         self.events: list[MergeEvent] = []
         self.operations = 0.0
         self.peak_event = 0
@@ -113,8 +120,8 @@ class _ScheduleBase:
 class MultiwayMergeSchedule(_ScheduleBase):
     """Buffer everything; one k-way heap merge in :meth:`finish`."""
 
-    def __init__(self, shape):
-        super().__init__(shape)
+    def __init__(self, shape, merge_fn=None):
+        super().__init__(shape, merge_fn)
         self._buffered: list[TripleList] = []
 
     def push(self, lst: TripleList) -> None:
@@ -129,7 +136,7 @@ class MultiwayMergeSchedule(_ScheduleBase):
         if not self._buffered:
             return TripleList.empty(self.shape)
         sizes = [len(t) for t in self._buffered]
-        merged = merge_lists(self._buffered)
+        merged = self._merge(self._buffered)
         self._record(sizes, merged)
         self._note_resident(sum(sizes) + len(merged))
         self._buffered = []
@@ -139,8 +146,8 @@ class MultiwayMergeSchedule(_ScheduleBase):
 class TwoWayMergeSchedule(_ScheduleBase):
     """Immediately merge each arriving list into the accumulated result."""
 
-    def __init__(self, shape):
-        super().__init__(shape)
+    def __init__(self, shape, merge_fn=None):
+        super().__init__(shape, merge_fn)
         self._acc: TripleList | None = None
 
     def push(self, lst: TripleList) -> None:
@@ -151,7 +158,7 @@ class TwoWayMergeSchedule(_ScheduleBase):
             return
         sizes = [len(self._acc), len(lst)]
         self._note_resident(sum(sizes))
-        merged = merge_lists([self._acc, lst])
+        merged = self._merge([self._acc, lst])
         self._record(sizes, merged)
         self._acc = merged
 
@@ -173,8 +180,8 @@ class BinaryMergeSchedule(_ScheduleBase):
     non-power-of-two stage counts).
     """
 
-    def __init__(self, shape):
-        super().__init__(shape)
+    def __init__(self, shape, merge_fn=None):
+        super().__init__(shape, merge_fn)
         self._stack: list[TripleList] = []
 
     def push(self, lst: TripleList) -> None:
@@ -190,7 +197,7 @@ class BinaryMergeSchedule(_ScheduleBase):
             return
         group = [self._stack.pop() for _ in range(nmerges + 1)]
         sizes = [len(t) for t in group]
-        merged = merge_lists(group)
+        merged = self._merge(group)
         self._record(sizes, merged)
         self._stack.append(merged)
         self._note_resident(sum(len(t) for t in self._stack) + sum(sizes))
@@ -203,7 +210,7 @@ class BinaryMergeSchedule(_ScheduleBase):
             return TripleList.empty(self.shape)
         if len(self._stack) > 1:
             sizes = [len(t) for t in self._stack]
-            merged = merge_lists(self._stack)
+            merged = self._merge(self._stack)
             self._record(sizes, merged)
             self._stack = [merged]
         return self._stack[0]
@@ -216,7 +223,8 @@ SCHEDULES = {
 }
 
 
-def run_schedule(kind: str, lists: list[TripleList], shape) -> MergeOutcome:
+def run_schedule(kind: str, lists: list[TripleList], shape,
+                 merge_fn=None) -> MergeOutcome:
     """Feed ``lists`` through the named schedule and return the outcome."""
     try:
         cls = SCHEDULES[kind]
@@ -224,7 +232,7 @@ def run_schedule(kind: str, lists: list[TripleList], shape) -> MergeOutcome:
         raise ValueError(
             f"unknown merge schedule {kind!r}; options: {sorted(SCHEDULES)}"
         ) from None
-    sched = cls(shape)
+    sched = cls(shape, merge_fn)
     for lst in lists:
         sched.push(lst)
     return sched.finish()

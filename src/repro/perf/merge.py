@@ -57,3 +57,38 @@ def merge_triples_fast(lists, shape):
     out_vals = _c.groupsum_ordered(vals, boundary)
     out_cols, out_rows = np.divmod(ukey, np.int64(nrows))
     return out_cols, out_rows, out_vals
+
+
+def range_cells(nrows: int, lo: int, hi: int) -> int:
+    """Dense-accumulator cell count of column range [lo, hi)."""
+    return (int(hi) - int(lo)) * int(nrows)
+
+
+def range_dense_eligible(nrows, lo, hi, n) -> bool:
+    """Whether the partition's dense scatter stays within the ESC limits."""
+    cells = range_cells(nrows, lo, hi)
+    return n > 0 and cells <= DENSE_CELL_LIMIT and cells <= DENSE_WASTE_FACTOR * n
+
+
+def merge_keyed_range_fast(key, vals, nrows, lo, hi):
+    """Dense-scatter accumulate flat keys restricted to columns [lo, hi).
+
+    ``key`` holds ``col * nrows + row`` entries whose columns all fall in
+    the range; the accumulator is offset by ``lo * nrows`` so only the
+    range's cells are materialized.  Same bit-identity argument as
+    :func:`merge_triples_fast`: bincount sums in input order, matching the
+    stable lexsort's left-to-right run accumulation.  The caller must have
+    checked :func:`range_dense_eligible`.
+    """
+    base = np.int64(lo) * np.int64(nrows)
+    cells = range_cells(nrows, lo, hi)
+    local = key - base
+    dense = np.bincount(local, weights=vals, minlength=cells)
+    arena = global_arena()
+    flags = arena.flags("spkadd:occupied", cells)
+    flags[local] = True
+    pos = np.flatnonzero(flags)
+    flags[pos] = False
+    out_vals = dense[pos]
+    out_cols, out_rows = np.divmod(pos + base, np.int64(nrows))
+    return out_cols, out_rows, out_vals

@@ -60,7 +60,9 @@ class InjectedEstimationError(EstimationError, InjectedFault):
     """The Cohen estimator's bound check failed (injected)."""
 
 
-#: One RNG stream per site class, in this fixed order.
+#: One RNG stream per site class, in this fixed order.  New sites append
+#: at the end: ``spawn_streams`` keys each child off its index, so the
+#: existing sites' draws are untouched by the addition.
 FAULT_SITES = (
     "comm",
     "straggler",
@@ -68,6 +70,7 @@ FAULT_SITES = (
     "gpu_launch",
     "cpu_kernel",
     "estimator",
+    "merge",
 )
 
 
@@ -101,12 +104,15 @@ class FaultPlan:
     estimator_miss_rate: float = 0.0
     estimator_underestimate_rate: float = 0.0
     estimator_deflation: float = 0.25
+    #: Probability one merge event overruns its memory (simulated SpKAdd
+    #: accumulator overflow), demoting the merge strategy ladder.
+    merge_overrun_rate: float = 0.0
 
     def __post_init__(self):
         for name in (
             "comm_failure_rate", "straggler_rate", "gpu_alloc_rate",
             "gpu_launch_rate", "cpu_kernel_rate", "estimator_miss_rate",
-            "estimator_underestimate_rate",
+            "estimator_underestimate_rate", "merge_overrun_rate",
         ):
             v = getattr(self, name)
             if not (0.0 <= v <= 1.0):
@@ -147,6 +153,7 @@ class FaultPlan:
             cpu_kernel_rate=intensity,
             estimator_miss_rate=min(0.5, intensity),
             estimator_underestimate_rate=min(0.5, intensity),
+            merge_overrun_rate=intensity,
         )
 
     def injector(self) -> "FaultInjector":
@@ -218,6 +225,15 @@ class FaultInjector:
     def cpu_kernel_fault(self) -> bool:
         if self._rng["cpu_kernel"].random() < self.plan.cpu_kernel_rate:
             self.injected["cpu_kernel"] += 1
+            return True
+        return False
+
+    # -- merge site ------------------------------------------------------
+
+    def merge_fault(self) -> bool:
+        """Whether the next merge event overruns its memory (injected)."""
+        if self._rng["merge"].random() < self.plan.merge_overrun_rate:
+            self.injected["merge"] += 1
             return True
         return False
 

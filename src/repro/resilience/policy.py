@@ -69,6 +69,11 @@ class ResiliencePolicy:
     ``estimator_fallback``
         Back off from the probabilistic estimator to the exact symbolic
         pass when the Cohen bound check fails, charging both passes.
+    ``degrade_merge``
+        Demote along the SpKAdd strategy ladder (hash → tree → serial)
+        on injected merge-memory overruns.  Like ``degrade_kernels``,
+        disarming it also disables the merge-site fault injection — the
+        ladder is the only recovery for that site.
     ``validate``
         Runtime invariant validators: ``"off"``, ``"warn"`` (emit a
         warning and keep going), or ``"strict"`` (raise
@@ -80,6 +85,7 @@ class ResiliencePolicy:
     split_phases_on_overrun: bool = True
     max_phase_splits: int = 3
     estimator_fallback: bool = True
+    degrade_merge: bool = True
     validate: str = "off"
 
     def __post_init__(self):

@@ -35,7 +35,14 @@ from ..errors import DeviceMemoryError, InjectedFault, KernelLaunchError
 from ..gpu.device import GPUDevice
 from ..gpu.multigpu import split_columns
 from ..machine.spec import MachineSpec, SUMMIT_LIKE
-from ..merge import SCHEDULES, TripleList
+from ..merge import SCHEDULES, TripleList, merge_lists
+from ..merge.spkadd import (
+    MERGE_FANOUT_MIN_ELEMENTS,
+    MERGE_IMPLS,
+    STRATEGY_LADDER,
+    resolve_merge_impl,
+    spkadd_merge,
+)
 from ..mpi.comm import RESILIENCE_ACCOUNT, VirtualComm
 from ..sparse import CSCMatrix, hstack_csc
 from ..spgemm.esc import spgemm_esc
@@ -105,6 +112,11 @@ class SummaConfig:
     #: Record per-event (rank, phase, stage, kind, start, end) tuples in
     #: ``SummaResult.trace`` — used to regenerate Fig. 2's timeline.
     trace: bool = False
+    #: SpKAdd engine for the physical merges ("serial" | "tree" | "hash"
+    #: | "auto"); None defers to ``REPRO_MERGE_IMPL`` / "auto".  All four
+    #: are bit-identical — the knob only moves wall-clock work onto the
+    #: executor's workers and trades peak merge memory for speed.
+    merge_impl: str | None = None
 
     def __post_init__(self):
         if self.kernel != "hybrid" and self.kernel not in _KERNEL_NAMES:
@@ -119,6 +131,11 @@ class SummaConfig:
             )
         if self.gpus_per_process < 1 or self.threads < 1:
             raise ValueError("gpus_per_process and threads must be >= 1")
+        if self.merge_impl is not None and self.merge_impl not in MERGE_IMPLS:
+            raise ValueError(
+                f"unknown merge impl {self.merge_impl!r}; "
+                f"options: {list(MERGE_IMPLS)}"
+            )
 
 
 @dataclass
@@ -133,6 +150,18 @@ class SummaResult:
     merge_peak_event_elements: int = 0  # max over ranks/phases
     merge_peak_resident_elements: int = 0
     merge_operations: float = 0.0
+    #: Resolved ``merge_impl`` knob the run planned strategies under.
+    merge_impl: str = "auto"
+    #: Physical merges per executed SpKAdd strategy.  Strategy planning is
+    #: a pure function of the inputs and the budget, so these counts are
+    #: identical across every (backend, workers, overlap) cell.
+    merge_strategy_selections: Counter = field(default_factory=Counter)
+    #: Injected merge-memory overruns absorbed by the recovery ladder.
+    merge_demotions: int = 0
+    #: Largest single-partition input share any SpKAdd fan-out saw — a
+    #: wall-clock diagnostic (like ``prefetched_stages``, it varies with
+    #: the worker count and is excluded from cell-identity).
+    merge_peak_partition_elements: int = 0
     phases: int = 1
     h2d_bytes: int = 0
     d2h_bytes: int = 0
@@ -235,11 +264,17 @@ def _gpu_stage_time(
     return worst, h2d, d2h
 
 
+#: Sentinel for ``summa_multiply(merge_injector=...)``: "not passed" means
+#: inherit ``injector`` (the common case); an explicit None disarms the
+#: merge fault site (the resilience policy's ``degrade_merge=False``).
+_INHERIT = object()
+
+
 class _RankMergeState:
     """Per-rank merge schedule plus the timing of its events."""
 
-    def __init__(self, shape, merge_kind: str):
-        self.schedule = SCHEDULES[merge_kind](shape)
+    def __init__(self, shape, merge_kind: str, merge_fn=None):
+        self.schedule = SCHEDULES[merge_kind](shape, merge_fn)
         self.events_charged = 0
         self.last_available = 0.0
 
@@ -273,6 +308,8 @@ def summa_multiply(
     backend: str | None = None,
     overlap: bool | str | None = None,
     overlap_budget_bytes: int | None = None,
+    merge_impl: str | None = None,
+    merge_injector=_INHERIT,
 ) -> SummaResult:
     """Compute ``C = A·B`` on the grid, per the configured algorithm.
 
@@ -307,6 +344,16 @@ def summa_multiply(
     aborted attempt's staging/compute time under the resilience account,
     so recovery shows up in the simulated timelines.  Numerics never
     change — only which kernel kind is charged.
+
+    ``merge_impl`` (explicit > ``config.merge_impl`` > ``REPRO_MERGE_IMPL``
+    > auto) selects the SpKAdd engine the physical merges run with; all
+    options are bit-identical to the serial merge, so it composes freely
+    with every backend/overlap combination.  ``merge_injector`` (defaults
+    to ``injector``) arms the merge-memory-overrun fault site: an injected
+    overrun charges the overrunning attempt's modeled time under the
+    resilience account and demotes the strategy ladder for the rest of the
+    run.  Draws happen once per merge event in the serial accounting pass,
+    so injections are identical across every execution cell too.
     """
     grid = dist_a.grid
     if dist_b.grid.q != grid.q:
@@ -385,6 +432,54 @@ def summa_multiply(
         (i, j): [] for i in range(q) for j in range(q)
     }
 
+    if merge_injector is _INHERIT:
+        merge_injector = injector
+    impl = resolve_merge_impl(
+        merge_impl if merge_impl is not None else config.merge_impl
+    )
+    result.merge_impl = impl
+    from .phases import plan_merge_strategy
+
+    #: Recovery-ladder rung injected merge overruns have pushed the run
+    #: to (one-element list: the closure reads it, the fault sites write).
+    merge_rung = [0]
+
+    def engine_merge(lists):
+        """The schedules' numeric engine: plan a strategy, maybe fan out.
+
+        Planning sees only the inputs, the budget, and the recovery rung —
+        never the executor — so ``merge_strategy_selections`` is identical
+        across cells; only *where* the partitions physically run varies.
+        """
+        total = sum(len(t) for t in lists)
+        strategy = plan_merge_strategy(
+            impl, total, lists[0].shape,
+            budget_bytes=overlap_budget_bytes, rung=merge_rung[0],
+        )
+        result.merge_strategy_selections[strategy] += 1
+        if tracer is not None:
+            tracer.metric(
+                "merge.strategy", total,
+                strategy=strategy, impl=impl, k=len(lists),
+            )
+            tracer.count(f"merge.{strategy}")
+        if strategy == "serial":
+            return merge_lists(lists, copy=False)
+        stats: dict = {}
+        fan_executor = (
+            executor
+            if parallel_stages and total >= MERGE_FANOUT_MIN_ELEMENTS
+            else None
+        )
+        merged = spkadd_merge(
+            lists, strategy=strategy, executor=fan_executor, stats=stats
+        )
+        result.merge_peak_partition_elements = max(
+            result.merge_peak_partition_elements,
+            stats.get("peak_partition_elements", 0),
+        )
+        return merged
+
     # Pre-slice B's blocks per phase (local column ranges align across a
     # block column because widths are identical within it).  Slabs are
     # memoized on their source block — together with their broadcast byte
@@ -411,6 +506,7 @@ def summa_multiply(
                     _phase_width(dist_b.block(0, j).ncols, phases, p),
                 ),
                 config.merge,
+                engine_merge,
             )
             for i in range(q)
             for j in range(q)
@@ -658,10 +754,30 @@ def summa_multiply(
                             )
                     # -- merge events triggered by this arrival -----------------
                     new_events = state.push(
-                        TripleList.from_csc(product), available
+                        TripleList.from_csc(product, copy=False), available
                     )
                     for ev in new_events:
                         dur = spec.merge_time(ev.operations, config.threads)
+                        if (
+                            merge_injector is not None
+                            and merge_injector.merge_fault()
+                        ):
+                            # Injected merge-memory overrun: the attempt's
+                            # modeled time is wasted, and the strategy
+                            # ladder degrades for the rest of the run.
+                            clock.cpu.schedule(
+                                max(clock.cpu.free_at, available), dur,
+                                RESILIENCE_ACCOUNT,
+                            )
+                            result.merge_demotions += 1
+                            merge_rung[0] = min(
+                                merge_rung[0] + 1, len(STRATEGY_LADDER) - 1
+                            )
+                            if tracer is not None:
+                                tracer.instant(
+                                    "fault.merge_overrun", "resilience",
+                                    rank=rank, phase=p, stage=k,
+                                )
                         end = clock.cpu.schedule(
                             max(clock.cpu.free_at, available), dur, "merge"
                         )
@@ -687,9 +803,23 @@ def summa_multiply(
             clock = comm.clocks[rank]
             outcome, new_events = state.finish()
             for ev in new_events:
+                dur = spec.merge_time(ev.operations, config.threads)
+                if merge_injector is not None and merge_injector.merge_fault():
+                    clock.cpu.schedule(
+                        max(clock.cpu.free_at, state.last_available), dur,
+                        RESILIENCE_ACCOUNT,
+                    )
+                    result.merge_demotions += 1
+                    merge_rung[0] = min(
+                        merge_rung[0] + 1, len(STRATEGY_LADDER) - 1
+                    )
+                    if tracer is not None:
+                        tracer.instant(
+                            "fault.merge_overrun", "resilience",
+                            rank=rank, phase=p,
+                        )
                 clock.cpu.schedule(
-                    max(clock.cpu.free_at, state.last_available),
-                    spec.merge_time(ev.operations, config.threads),
+                    max(clock.cpu.free_at, state.last_available), dur,
                     "merge",
                 )
             result.merge_operations += outcome.operations

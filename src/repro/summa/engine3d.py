@@ -150,7 +150,7 @@ def summa3d_multiply(
         layer_results.append(res)
         for key, blk in res.dist_c.blocks.items():
             partial_lists.setdefault(key, []).append(
-                TripleList.from_csc(blk)
+                TripleList.from_csc(blk, copy=False)
             )
 
     # -- fiber combine: all-to-all + merge of the c partial blocks ---------

@@ -22,6 +22,12 @@ import math
 from dataclasses import dataclass, field
 
 from ..merge.lists import BYTES_PER_TRIPLE
+from ..merge.spkadd import (
+    MERGE_IMPLS,
+    SPKADD_MIN_ELEMENTS,
+    STRATEGY_LADDER,
+    strategy_peak_bytes,
+)
 
 
 @dataclass(frozen=True)
@@ -94,6 +100,52 @@ def overlap_window(
     if budget_bytes is None or stage_input_bytes <= 0:
         return max_window
     return max(1, min(max_window, int(budget_bytes // stage_input_bytes)))
+
+
+def plan_merge_strategy(
+    impl: str,
+    total_elements: int,
+    shape,
+    *,
+    budget_bytes: int | None = None,
+    rung: int = 0,
+) -> str:
+    """Pick the SpKAdd strategy one physical merge runs with.
+
+    ``impl`` is the resolved ``merge_impl`` knob.  ``auto`` starts at the
+    top of :data:`~repro.merge.spkadd.STRATEGY_LADDER` (hash) but plans
+    ``serial`` outright below ``SPKADD_MIN_ELEMENTS`` — partition
+    bookkeeping would dominate; an explicit tree/hash starts at its own
+    rung and is always honored on small inputs.  From the starting rung
+    the ladder walks down past any strategy whose
+    :func:`~repro.merge.spkadd.strategy_peak_bytes` busts ``budget_bytes``
+    (mirroring kernel demotion), and ``rung`` — the recovery ladder fed by
+    injected merge-memory overruns — only ever pushes the start further
+    down.  The decision is a pure function of these arguments: no worker
+    count, backend, or executor state enters, so strategy accounting is
+    identical across every execution cell.
+    """
+    if impl not in MERGE_IMPLS:
+        raise ValueError(
+            f"unknown merge impl {impl!r}; options: {list(MERGE_IMPLS)}"
+        )
+    if impl == "serial":
+        return "serial"
+    if impl == "auto":
+        if total_elements < SPKADD_MIN_ELEMENTS:
+            return "serial"
+        start = 0
+    else:
+        start = STRATEGY_LADDER.index(impl)
+    start = max(start, min(max(0, int(rung)), len(STRATEGY_LADDER) - 1))
+    for strategy in STRATEGY_LADDER[start:]:
+        if (
+            budget_bytes is None
+            or strategy_peak_bytes(strategy, total_elements, shape)
+            <= budget_bytes
+        ):
+            return strategy
+    return STRATEGY_LADDER[-1]
 
 
 @dataclass

@@ -155,6 +155,50 @@ def overlap_pairs(tracer: Tracer) -> list[tuple[Span, Span]]:
     return pairs
 
 
+def merge_report(tracer: Tracer) -> dict | None:
+    """Wall-clock share and parallel fraction of the merge phase.
+
+    Returns ``None`` for traces without any merge span; otherwise a dict:
+
+    * ``main_seconds`` — wall time inside main-lane ``merge`` /
+      ``finish_merge`` spans (the serial accounting pass);
+    * ``worker_seconds`` — wall time of ``merge_partition`` spans on
+      worker lanes (the fanned-out SpKAdd partitions);
+    * ``window_seconds`` — the trace's overall wall window;
+    * ``share`` — the main-lane merge spans' share of that window;
+    * ``parallel_fraction`` — worker-lane merge time over all merge time
+      (0.0 for a fully serial merge, approaching 1 as the partitions
+      absorb the work).
+    """
+    main = [
+        s for s in tracer.spans
+        if s.cat == "summa" and s.name in ("merge", "finish_merge")
+        and s.lane == MAIN_LANE
+    ]
+    workers = [
+        s for s in tracer.spans
+        if s.name == "merge_partition" and s.lane != MAIN_LANE
+    ]
+    if not main and not workers:
+        return None
+    timed = [s for s in tracer.spans if s.t1_wall > s.t0_wall]
+    window = (
+        max(s.t1_wall for s in timed) - min(s.t0_wall for s in timed)
+        if timed
+        else 0.0
+    )
+    main_s = sum(s.wall_seconds for s in main)
+    worker_s = sum(s.wall_seconds for s in workers)
+    total = main_s + worker_s
+    return {
+        "main_seconds": main_s,
+        "worker_seconds": worker_s,
+        "window_seconds": window,
+        "share": main_s / window if window > 0 else 0.0,
+        "parallel_fraction": worker_s / total if total > 0 else 0.0,
+    }
+
+
 def summarize(tracer: Tracer) -> str:
     """Human-readable digest of a trace (the ``tools/run_trace.py`` view)."""
     lines = []
@@ -190,6 +234,15 @@ def summarize(tracer: Tracer) -> str:
             f"prefetch overlap: {len(pairs)} stage-(k+1) multiply span(s) "
             "overlapping a stage-k merge span"
         )
+    merge = merge_report(tracer)
+    if merge is not None:
+        lines.append("")
+        lines.append(
+            f"merge phase: {merge['main_seconds'] * 1e3:.1f}ms main-lane "
+            f"({merge['share'] * 100:.1f}% of the wall window), "
+            f"{merge['worker_seconds'] * 1e3:.1f}ms on worker lanes "
+            f"(parallel fraction {merge['parallel_fraction'] * 100:.1f}%)"
+        )
     if tracer.counters:
         lines.append("")
         for name in sorted(tracer.counters):
@@ -221,6 +274,7 @@ __all__ = [
     "write_chrome_trace",
     "write_metrics",
     "overlap_pairs",
+    "merge_report",
     "summarize",
     "spans_from_dicts",
     "MetricEvent",

@@ -124,6 +124,64 @@ class TestBackendMatrix:
         assert divergence(ref, resumed) == []
 
 
+MERGE_IMPLS = ("tree", "hash", "auto")
+
+
+@pytest.mark.parametrize("merge_impl", MERGE_IMPLS)
+@pytest.mark.parametrize(("backend", "overlap"), CELLS, ids=CELL_IDS)
+class TestMergeImplMatrix:
+    """The merge_impl axis of the matrix, on the phased net (multi-stage
+    SUMMA, so the parallel SpKAdd genuinely runs).  Serial merge_impl is
+    the reference itself; tree/hash/auto must leave no trace in any
+    pinned quantity."""
+
+    def test_fault_free(self, nets, opts, references, backend, overlap,
+                        merge_impl):
+        mat, cfg = nets["phased"]
+        run = hipmcl(
+            mat, opts, cfg, workers=2, backend=backend, overlap=overlap,
+            merge_impl=merge_impl,
+        )
+        assert_cell_identical(references["phased"]["plain"], run)
+
+    def test_chaos(self, nets, opts, references, backend, overlap,
+                   merge_impl):
+        mat, cfg = nets["phased"]
+        run = hipmcl(
+            mat, opts, cfg, workers=2, backend=backend, overlap=overlap,
+            merge_impl=merge_impl,
+            faults=FaultPlan.chaos(CHAOS_SEED, intensity=0.3),
+        )
+        ref = references["phased"]["chaos"]
+        assert run.faults_injected == ref.faults_injected
+        assert run.faults_injected.get("merge", 0) > 0
+        assert run.merge_demotions == ref.merge_demotions
+        assert_cell_identical(ref, run)
+
+
+@pytest.mark.parametrize("merge_impl", MERGE_IMPLS)
+def test_checkpoint_resume_with_merge_impl(nets, opts, references,
+                                           merge_impl, tmp_path):
+    # One pool cell suffices: the knob must leave no trace in the
+    # persisted state, so a checkpoint written under any merge_impl
+    # resumes to the exact serial trajectory.
+    mat, cfg = nets["phased"]
+    ref = references["phased"]["plain"]
+    full = hipmcl(
+        mat, opts, cfg, workers=2, backend="thread", overlap=True,
+        merge_impl=merge_impl, checkpoint_dir=tmp_path,
+    )
+    assert full.checkpoints_written > 0
+    assert_cell_identical(ref, full)
+    resumed = hipmcl(
+        mat, opts, cfg, workers=2, backend="thread", overlap=True,
+        merge_impl=merge_impl, resume_from=latest_checkpoint(tmp_path),
+    )
+    assert resumed.resumed_from_iteration > 0
+    assert np.array_equal(resumed.labels, ref.labels)
+    assert divergence(ref, resumed) == []
+
+
 class TestOverlapEngaged:
     def test_phased_net_actually_prefetches(self, nets, opts):
         # Guard against the matrix silently testing a no-op: on the 4x4

@@ -1,11 +1,14 @@
-"""Property-based tests for the merge schedules (paper §IV invariants)."""
+"""Property-based tests for the merge schedules (paper §IV invariants)
+and the parallel SpKAdd strategies (bit-identity to ``merge_lists``)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.merge import TripleList, run_schedule
+from repro.merge import TripleList, merge_lists, run_schedule, spkadd_merge
 from repro.sparse import csc_from_triples
+from repro.summa.phases import plan_merge_strategy
 
 
 @st.composite
@@ -70,6 +73,102 @@ def test_binary_events_only_at_even_stages_plus_finish(stream):
     # All but possibly the last event must fire at even stages.
     for ev in out.events[:-1]:
         assert ev.stage % 2 == 0
+
+
+@st.composite
+def signed_streams(draw):
+    """1..10 lists whose values come from a small signed grid, so exact
+    duplicate coordinates and cancellation-to-zero both occur often."""
+    nrows = draw(st.integers(1, 12))
+    ncols = draw(st.integers(1, 12))
+    n_lists = draw(st.integers(1, 10))
+    lists = []
+    for _ in range(n_lists):
+        nnz = draw(st.integers(0, nrows * ncols))
+        rows = draw(
+            st.lists(st.integers(0, nrows - 1), min_size=nnz, max_size=nnz)
+        )
+        cols = draw(
+            st.lists(st.integers(0, ncols - 1), min_size=nnz, max_size=nnz)
+        )
+        vals = draw(
+            st.lists(
+                st.sampled_from([-2.0, -1.0, -0.5, 0.5, 1.0, 2.0]),
+                min_size=nnz, max_size=nnz,
+            )
+        )
+        lists.append(
+            TripleList.from_csc(
+                csc_from_triples((nrows, ncols), rows, cols, vals)
+            )
+        )
+    return (nrows, ncols), lists
+
+
+def _assert_bit_identical(out, ref):
+    assert np.array_equal(out.cols, ref.cols)
+    assert np.array_equal(out.rows, ref.rows)
+    assert np.array_equal(out.vals, ref.vals)
+
+
+@given(signed_streams(), st.integers(1, 5))
+@settings(max_examples=80, deadline=None)
+def test_spkadd_strategies_bit_identical_to_merge_lists(stream, parts):
+    """Every SpKAdd strategy — and the one ``auto`` would plan — returns
+    the exact arrays of the canonical serial merge (not just allclose:
+    floating-point summation order is part of the contract)."""
+    shape, lists = stream
+    ref = merge_lists(list(lists))
+    for strategy in ("serial", "tree", "hash"):
+        out = spkadd_merge(list(lists), strategy=strategy, parts=parts)
+        _assert_bit_identical(out, ref)
+    planned = plan_merge_strategy(
+        "auto", sum(len(t) for t in lists), shape
+    )
+    out = spkadd_merge(list(lists), strategy=planned, parts=parts)
+    _assert_bit_identical(out, ref)
+
+
+@pytest.mark.parametrize("backend,workers", [
+    ("serial", 1), ("thread", 2), ("thread", 4), ("process", 2),
+])
+def test_spkadd_executor_matrix_bit_identical(backend, workers):
+    """The fanned-out merge is bit-identical across the pool matrix."""
+    from repro.parallel import get_executor
+    from repro.sparse import random_csc
+
+    shape = (600, 600)
+    lists = [
+        TripleList.from_csc(random_csc(shape, 0.01, seed=30 + i))
+        for i in range(6)
+    ]
+    ref = merge_lists(list(lists))
+    executor = get_executor(workers, backend)
+    for strategy in ("tree", "hash"):
+        out = spkadd_merge(list(lists), strategy=strategy, executor=executor)
+        _assert_bit_identical(out, ref)
+
+
+def test_spkadd_cancellation_to_zero():
+    """Entries that sum to exactly zero keep whatever representation the
+    canonical merge produces — strategies must not prune differently."""
+    shape = (4, 4)
+    a = TripleList.from_csc(
+        csc_from_triples(shape, [1, 2, 3], [0, 3, 2], [1.5, 2.0, -1.0])
+    )
+    b = TripleList.from_csc(
+        csc_from_triples(shape, [1, 2], [0, 3], [-1.5, 0.5])
+    )
+    c = TripleList.from_csc(
+        csc_from_triples(shape, [3], [2], [1.0])
+    )
+    ref = merge_lists([a, b, c])
+    for strategy in ("tree", "hash"):
+        for parts in (1, 2, 4):
+            out = spkadd_merge(
+                [a, b, c], strategy=strategy, parts=parts
+            )
+            _assert_bit_identical(out, ref)
 
 
 @given(list_streams())

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Run the tier-1 test suite under coverage.py with a committed floor.
 
-The gate watches the execution-backend subsystems — ``src/repro/parallel/``
-and ``src/repro/summa/`` — because those are the layers where an untested
-branch means a silently wrong schedule rather than a loud crash.  The
+The gate watches the execution-backend subsystems — ``src/repro/parallel/``,
+``src/repro/summa/``, ``src/repro/trace/`` and ``src/repro/merge/`` —
+because those are the layers where an untested branch means a silently
+wrong schedule (or a silently wrong merge) rather than a loud crash.  The
 source list and the ``fail_under`` floor are committed in
 ``pyproject.toml`` under ``[tool.coverage.run]`` / ``[tool.coverage.report]``;
 this script just drives the run:
@@ -82,9 +83,9 @@ def main(argv=None) -> int:
         print(f"HTML report: {ROOT / 'htmlcov' / 'index.html'}")
     if report.returncode != 0:
         print(
-            "coverage gate: repro.parallel/repro.summa coverage is below "
-            "the committed floor (see [tool.coverage.report] in "
-            "pyproject.toml)",
+            "coverage gate: repro.parallel/repro.summa/repro.trace/"
+            "repro.merge coverage is below the committed floor (see "
+            "[tool.coverage.report] in pyproject.toml)",
             file=sys.stderr,
         )
         return 2

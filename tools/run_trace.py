@@ -12,8 +12,11 @@ The positional argument is a catalog network name (``archaea-xs``,
 ``eukarya-xs``, ...) or a path to a MatrixMarket ``.mtx`` file.  The
 script runs the optimized HipMCL configuration with tracing on, writes
 the requested artifacts, and prints the text summary (per-category span
-totals, worker lanes, overlap evidence, counters) so no viewer is needed
-for a first look.  Load the JSON at https://ui.perfetto.dev for the full
+totals, worker lanes, overlap evidence, the merge phase's wall-clock
+share and parallel fraction, counters) so no viewer is needed for a
+first look.  Add ``--merge-impl tree|hash`` and compare the merge line
+against a ``--merge-impl serial`` run for this repo's before/after
+evidence in one command.  Load the JSON at https://ui.perfetto.dev for the full
 timeline — worker lanes under pid "wall clock", the modeled machine's
 view under pid "simulated clock".
 
@@ -50,6 +53,12 @@ def main(argv=None) -> int:
         "--backend", choices=["serial", "thread", "process"], default=None,
     )
     parser.add_argument("--overlap", action="store_true", default=None)
+    parser.add_argument(
+        "--merge-impl", choices=["serial", "tree", "hash", "auto"],
+        default=None,
+        help="SpKAdd engine for the expansion's merges (bit-identical; "
+        "default: REPRO_MERGE_IMPL or auto)",
+    )
     parser.add_argument(
         "--trace", metavar="FILE",
         help="write the Chrome trace-event JSON here",
@@ -97,6 +106,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         backend=args.backend,
         overlap=args.overlap,
+        merge_impl=args.merge_impl,
     )
     wall = time.perf_counter() - t0
 
