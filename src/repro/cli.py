@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the HipMCL user's workflow:
+Six subcommands cover the HipMCL user's workflow:
 
 ``generate``
     Write a catalog network (or a custom planted network) to a
@@ -10,12 +10,17 @@ Three subcommands cover the HipMCL user's workflow:
     simulated distributed HipMCL run, writing mcl-style cluster lines.
 ``experiment``
     Regenerate one of the paper's tables/figures and print it.
+``submit`` / ``serve`` / ``jobs``
+    The clustering service (see ``docs/service.md``): enqueue a job into
+    a service directory, run a crash-safe worker loop over it, and
+    inspect job status / fetch results / tail streamed progress.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 import numpy as np
 
@@ -131,6 +136,87 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     exp.add_argument("name", help="experiment id (fig1..fig8, table2..5, "
                      "ablation-*) or 'list'")
+
+    smt = sub.add_parser(
+        "submit", help="enqueue a clustering job into a service directory"
+    )
+    smt.add_argument("dir", help="service directory (created if missing)")
+    smt.add_argument(
+        "input",
+        help=".mtx/.abc network file or 'catalog:<name>[:<seed>]'",
+    )
+    smt.add_argument("--inflation", type=float, default=2.0)
+    smt.add_argument("--threshold", type=float, default=1e-4)
+    smt.add_argument("--select", type=int, default=1000, metavar="K")
+    smt.add_argument("--recover", type=int, default=0, metavar="R")
+    smt.add_argument("--max-iterations", type=int, default=100)
+    smt.add_argument(
+        "--mode", choices=["optimized", "original", "cpu"],
+        default="optimized",
+    )
+    smt.add_argument("--nodes", type=int, default=16)
+    smt.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="per-process transient budget for the run's phase planner",
+    )
+    smt.add_argument(
+        "--max-retries", type=int, default=3,
+        help="failed-attempt retries before the job parks in 'failed'",
+    )
+    smt.add_argument(
+        "--backoff", type=float, default=1.0, metavar="SECONDS",
+        help="base of the exponential retry backoff (default 1.0)",
+    )
+    smt.add_argument(
+        "--no-cache", action="store_true",
+        help="do not serve this submission from the result cache",
+    )
+
+    srv = sub.add_parser(
+        "serve", help="run a worker loop over a service directory"
+    )
+    srv.add_argument("dir", help="service directory")
+    srv.add_argument(
+        "--drain", action="store_true",
+        help="exit once the queue is empty (default: poll forever)",
+    )
+    srv.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after processing N jobs",
+    )
+    srv.add_argument(
+        "--lease", type=float, default=30.0, metavar="SECONDS",
+        help="job lease duration; heartbeats at iteration boundaries "
+        "renew it (default 30)",
+    )
+    srv.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="idle sleep between empty claims (default 0.5)",
+    )
+    srv.add_argument(
+        "--memory-budget", type=int, default=None, metavar="BYTES",
+        help="service-wide admission budget: concurrent jobs' working "
+        "sets are gated against it (default: unlimited)",
+    )
+    srv.add_argument("--workers", metavar="N",
+                     help="pool workers for each job (see cluster --workers)")
+    srv.add_argument("--backend", choices=["serial", "thread", "process"])
+    srv.add_argument("--merge-impl",
+                     choices=["serial", "tree", "hash", "auto"])
+
+    jbs = sub.add_parser(
+        "jobs", help="inspect a service directory's jobs"
+    )
+    jbs.add_argument("dir", help="service directory")
+    jbs.add_argument("job", nargs="?", help="job id (default: list all)")
+    jbs.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the job's mcl-style cluster lines (done jobs only)",
+    )
+    jbs.add_argument(
+        "--tail", action="store_true",
+        help="print the job's streamed metric events (NDJSON)",
+    )
     return parser
 
 
@@ -332,12 +418,152 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
+def _cmd_submit(args) -> int:
+    from .errors import ServiceError
+    from .service import ClusterService, JobSpec
+
+    options = {
+        "inflation": args.inflation,
+        "prune_threshold": args.threshold,
+        "select_number": args.select,
+        "recover_number": args.recover,
+        "max_iterations": args.max_iterations,
+    }
+    config = {}
+    if args.memory_budget is not None:
+        config["memory_budget_bytes"] = args.memory_budget
+    service = ClusterService(args.dir)
+    try:
+        spec = JobSpec(
+            graph=args.input,
+            mode=args.mode,
+            nodes=args.nodes,
+            options=options,
+            config=config,
+        )
+        jid = service.submit(
+            spec,
+            max_retries=args.max_retries,
+            backoff_base=args.backoff,
+            serve_from_cache=not args.no_cache,
+        )
+        state = service.status(jid).state
+    except (ServiceError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        service.close()
+    print(f"{jid} {state}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import ClusterService
+
+    service = ClusterService(args.dir)
+    runner = service.make_runner(
+        lease_seconds=args.lease,
+        poll_seconds=args.poll,
+        memory_budget_bytes=args.memory_budget,
+        workers=args.workers,
+        backend=args.backend,
+        merge_impl=args.merge_impl,
+    )
+    print(
+        f"serving {args.dir} as {runner.worker_id} "
+        f"(lease {args.lease:g}s): {service.counts()}",
+        file=sys.stderr,
+    )
+    try:
+        if args.drain or args.max_jobs is not None:
+            n = runner.drain(max_jobs=args.max_jobs)
+        else:  # pragma: no cover - interactive polling loop
+            n = 0
+            while True:
+                if runner.run_once() is not None:
+                    n += 1
+                else:
+                    time.sleep(args.poll)
+    except KeyboardInterrupt:  # pragma: no cover
+        n = len(runner.processed)
+    finally:
+        for jid, outcome in runner.processed:
+            print(f"{jid} {outcome}", file=sys.stderr)
+        print(f"processed {len(runner.processed)} job(s)", file=sys.stderr)
+        service.close()
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    import json
+
+    from .errors import ServiceError
+    from .mcl.components import clusters_from_labels
+    from .service import ClusterService
+
+    service = ClusterService(args.dir)
+    try:
+        if args.job is None:
+            for job in service.queue.list_jobs():
+                extra = ""
+                if job.state == "done" and job.result:
+                    extra = (
+                        f" clusters={job.result['n_clusters']}"
+                        f" iters={job.result['iterations']}"
+                        + (" (cache)" if job.result.get("cache_hit") else "")
+                    )
+                elif job.error:
+                    extra = f" error={job.error!r}"
+                print(
+                    f"{job.id} {job.state} attempts={job.attempts} "
+                    f"requeues={job.requeues}{extra}"
+                )
+            return 0
+        try:
+            job = service.queue.get(args.job)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(f"{job.id}: {job.state}")
+        print(
+            f"  attempts={job.attempts} requeues={job.requeues} "
+            f"releases={job.releases} worker={job.worker or '-'}"
+        )
+        if job.result:
+            print(f"  result: {json.dumps(job.result, sort_keys=True)}")
+        if job.error:
+            print(f"  error: {job.error}")
+        if args.tail:
+            events, _ = service.progress(args.job)
+            for ev in events:
+                print(json.dumps(ev, sort_keys=True))
+        if args.output:
+            try:
+                labels = service.labels(args.job)
+            except ServiceError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 3
+            lines = [
+                "\t".join(str(v) for v in cluster)
+                for cluster in clusters_from_labels(np.asarray(labels))
+            ]
+            with open(args.output, "w", encoding="ascii") as fh:
+                fh.write("\n".join(lines) + "\n")
+            print(f"wrote {args.output}", file=sys.stderr)
+        return 0
+    finally:
+        service.close()
+
+
 def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     handler = {
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
         "experiment": _cmd_experiment,
+        "submit": _cmd_submit,
+        "serve": _cmd_serve,
+        "jobs": _cmd_jobs,
     }[args.command]
     return handler(args)
 

@@ -63,6 +63,11 @@ class InvariantViolation(ReproError, AssertionError):
     """A runtime invariant validator found a broken pipeline invariant."""
 
 
+class ServiceError(ReproError, RuntimeError):
+    """Misuse of the clustering service (bad job state transition, a lost
+    lease, a malformed job spec, or a corrupt service directory)."""
+
+
 class InjectedFault:
     """Mixin marking an exception as raised by the fault injector.
 

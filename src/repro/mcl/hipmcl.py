@@ -463,6 +463,7 @@ def hipmcl(
     overlap: bool | str | None = None,
     merge_impl: str | None = None,
     trace=None,
+    on_iteration=None,
 ) -> HipMCLResult:
     """Run distributed MCL on the simulated machine and cluster ``matrix``.
 
@@ -520,6 +521,15 @@ def hipmcl(
         bit-identical to an untraced one.  Export the result with
         :func:`repro.trace.write_chrome_trace` /
         :func:`repro.trace.write_metrics`.
+    on_iteration:
+        Callback fired at every iteration boundary as
+        ``on_iteration(record, converged)`` with the just-appended
+        :class:`HipMCLIteration` — *after* any checkpoint for that
+        iteration is durable on disk, so the callback marks a safe
+        resume point.  The service layer uses it for lease heartbeats,
+        streaming progress, and simulated worker crashes; exceptions it
+        raises propagate out of the driver (the in-flight iteration's
+        work is already checkpointed).
     """
     kwargs = dict(
         strict=strict,
@@ -531,6 +541,7 @@ def hipmcl(
         backend=backend,
         overlap=overlap,
         merge_impl=merge_impl,
+        on_iteration=on_iteration,
     )
     if trace is None:
         return _hipmcl_run(matrix, options, config, **kwargs)
@@ -558,6 +569,7 @@ def _hipmcl_run(
     backend: str | None = None,
     overlap: bool | str | None = None,
     merge_impl: str | None = None,
+    on_iteration=None,
 ) -> HipMCLResult:
     """The driver body behind :func:`hipmcl` (tracer already active)."""
     wall_start = _time.perf_counter()
@@ -1000,6 +1012,10 @@ def _hipmcl_run(
                 tracer.instant(
                     "checkpoint.written", "resilience", iteration=it
                 )
+        if on_iteration is not None:
+            # Fired with the iteration's checkpoint (if any) already
+            # durable, so an exception here loses no committed work.
+            on_iteration(history[-1], converged_now)
         if converged_now:
             converged = True
             break

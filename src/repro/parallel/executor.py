@@ -283,6 +283,7 @@ class _ProcessBatch(BatchHandle):
                 f"the pool has been discarded and will restart on the next "
                 f"batch (retry with REPRO_WORKERS=1 to bisect)"
             ) from exc
+        self._executor._note_success()
         tracer = current_tracer()
         out = []
         for value, spans in results:
@@ -292,25 +293,72 @@ class _ProcessBatch(BatchHandle):
         return out
 
 
+#: Consecutive pool crashes (no intervening successful batch) tolerated
+#: before the lazy-restart path gives up and turns terminal.
+MAX_POOL_RESTARTS = 3
+
+#: Base delay of the exponential restart backoff (seconds); restart k
+#: after a crash streak waits ``RESTART_BACKOFF_SECONDS * 2**(k-1)``.
+RESTART_BACKOFF_SECONDS = 0.05
+
+
 class ProcessExecutor:
     """A persistent ``workers``-process pool with shared-memory transport.
 
     The pool is created lazily on the first batch and reused until
     :meth:`close`; a batch after ``close`` (or after a worker crash broke
-    the pool) transparently starts a fresh pool.
+    the pool) transparently starts a fresh pool.  Restarting is **not**
+    unconditional: ``max_restarts`` consecutive crashes without one
+    successful batch in between escalate to a *terminal*
+    :class:`ExecutorError` — a pool that dies every time it is rebuilt
+    (OOM killer, broken native library) must stop burning restarts and
+    surface, not loop forever.  Each restart in a crash streak waits an
+    exponentially growing backoff first; a successful batch resets the
+    streak, and :meth:`reset` re-arms a terminal executor explicitly.
     """
 
-    def __init__(self, workers: int):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        max_restarts: int = MAX_POOL_RESTARTS,
+        restart_backoff: float = RESTART_BACKOFF_SECONDS,
+    ):
         if workers < 2:
             raise ValueError(
                 f"ProcessExecutor needs >= 2 workers, got {workers} "
                 "(use SerialExecutor)"
             )
+        if max_restarts < 0:
+            raise ValueError(
+                f"max_restarts must be >= 0, got {max_restarts}"
+            )
         self.workers = workers
+        self.max_restarts = max_restarts
+        self.restart_backoff = restart_backoff
         self._pool = None
+        #: Pool crashes since the last successful batch (or reset).
+        self._crash_streak = 0
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            if self._crash_streak > self.max_restarts:
+                raise ExecutorError(
+                    f"worker pool crashed {self._crash_streak} consecutive "
+                    f"times without a successful batch; giving up after "
+                    f"{self.max_restarts} restart(s) — this is no longer a "
+                    "transient (suspect OOM kills or a broken native "
+                    "dependency; call reset() to re-arm, or run with "
+                    "REPRO_WORKERS=1)"
+                )
+            if self._crash_streak > 0 and self.restart_backoff > 0:
+                # Exponential backoff before rebuilding a pool that just
+                # crashed: restart k in a streak waits base * 2**(k-1).
+                import time as _t
+
+                _t.sleep(
+                    self.restart_backoff * 2 ** (self._crash_streak - 1)
+                )
             method = (
                 "fork" if "fork" in get_all_start_methods() else "spawn"
             )
@@ -334,8 +382,18 @@ class ProcessExecutor:
 
     def _discard_pool(self) -> None:
         # A worker died (OOM-killed, segfault, os._exit) — the pool is
-        # unusable; drop it so the next batch starts fresh.
+        # unusable; drop it so the next batch starts fresh, and extend
+        # the crash streak that bounds how many fresh starts remain.
         self._pool = None
+        self._crash_streak += 1
+
+    def _note_success(self) -> None:
+        # A batch gathered cleanly: the pool is healthy, forgive the past.
+        self._crash_streak = 0
+
+    def reset(self) -> None:
+        """Re-arm a terminal executor (clears the crash streak)."""
+        self._crash_streak = 0
 
     def submit_batch(self, fn, tasks, label=None, attrs=None) -> BatchHandle:
         """Dispatch the batch to the pool without waiting for results.

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import re
 import zipfile
 from dataclasses import dataclass
@@ -91,7 +92,15 @@ class MclCheckpoint:
 
 
 def save_checkpoint(path, ckpt: MclCheckpoint) -> Path:
-    """Write ``ckpt`` to ``path`` (creating parent directories)."""
+    """Write ``ckpt`` to ``path`` atomically (creating parent directories).
+
+    The payload lands in a same-directory temp file first and is
+    ``os.replace``-renamed into place, so a writer killed mid-write — the
+    exact crash the service layer injects — leaves either the previous
+    complete checkpoint or none, never a truncated one under the real
+    name.  Temp files do not match the checkpoint filename pattern, so
+    :func:`latest_checkpoint` never offers one for resumption.
+    """
     from dataclasses import asdict
 
     path = Path(path)
@@ -112,8 +121,13 @@ def save_checkpoint(path, ckpt: MclCheckpoint) -> Path:
         "history": [asdict(h) for h in ckpt.history],
     }
     meta["checksum"] = _checksum(meta, arrays)
-    with open(path, "wb") as fh:
-        np.savez(fh, meta=np.array(json.dumps(meta)), **arrays)
+    tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez(fh, meta=np.array(json.dumps(meta)), **arrays)
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return path
 
 
@@ -135,15 +149,23 @@ def load_checkpoint(path, expected_fingerprint: str | None = None):
             arrays = {
                 name: npz[name] for name in ("indptr", "indices", "data")
             }
+        if not isinstance(meta, dict):
+            raise ValueError(f"metadata is {type(meta).__name__}, not dict")
     except (
         OSError,
+        EOFError,
         ValueError,
         KeyError,
         json.JSONDecodeError,
         zipfile.BadZipFile,
     ) as exc:
+        # Every way a truncated or partially-written file can fail to
+        # parse (short zip directory, short member, bad JSON, missing
+        # array) funnels into one typed error: the caller's recovery is
+        # identical — discard this file, resume from an older one.
         raise CheckpointError(
-            f"checkpoint {path} is unreadable: {exc}"
+            f"checkpoint {path} is unreadable (truncated or partially "
+            f"written?): {exc}"
         ) from exc
     stored = meta.pop("checksum", None)
     if stored is None or _checksum(meta, arrays) != stored:
@@ -176,14 +198,19 @@ def load_checkpoint(path, expected_fingerprint: str | None = None):
         raise CheckpointError(
             f"checkpoint {path} holds an invalid iterate: {exc}"
         ) from exc
-    history = [HipMCLIteration(**h) for h in meta["history"]]
-    return MclCheckpoint(
-        iteration=meta["iteration"],
-        work=work,
-        history=history,
-        prev_cf=float(meta["prev_cf"]),
-        elapsed_seconds=float(meta["elapsed_seconds"]),
-        counters=meta["counters"],
-        fingerprint=meta["fingerprint"],
-        version=meta["version"],
-    )
+    try:
+        history = [HipMCLIteration(**h) for h in meta["history"]]
+        return MclCheckpoint(
+            iteration=int(meta["iteration"]),
+            work=work,
+            history=history,
+            prev_cf=float(meta["prev_cf"]),
+            elapsed_seconds=float(meta["elapsed_seconds"]),
+            counters=meta["counters"],
+            fingerprint=meta["fingerprint"],
+            version=meta["version"],
+        )
+    except (TypeError, ValueError, KeyError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} holds a malformed payload: {exc}"
+        ) from exc

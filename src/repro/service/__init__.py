@@ -1,0 +1,60 @@
+"""Clustering-as-a-service: a crash-safe job queue over the MCL driver.
+
+The ROADMAP's "millions of users" story: the one-shot CLI becomes a
+long-lived service that keeps accepting and finishing jobs even when
+workers crash, runs are killed mid-iteration, or memory pressure would
+OOM the pool.  Five pieces, each usable on its own:
+
+* :mod:`repro.service.queue` — the durable SQLite job table with atomic
+  state transitions (``queued → claimed → running → done|failed``, plus
+  ``requeued`` for jobs reaped from dead workers), leases, heartbeats,
+  and exponential retry backoff;
+* :mod:`repro.service.jobs` — JSON job specs and the cache-key
+  discipline: ``(graph fingerprint, config fingerprint)``, the exact key
+  that already guards checkpoint resumption;
+* :mod:`repro.service.cache` — memoized results: a re-submitted
+  identical job serves labels without recomputation;
+* :mod:`repro.service.runner` — the worker loop: claim with a lease,
+  heartbeat at iteration boundaries, resume from per-iteration
+  checkpoints after a crash, stream progress as NDJSON metrics, admit
+  against the memory planner's byte budgets;
+* :mod:`repro.service.chaos` — seeded worker-death injection and the
+  kill/restart harness behind ``tools/run_chaos.py --service``.
+
+The headline guarantee (pinned in ``tests/test_service_chaos.py``): a
+job whose runner is killed and restarted at arbitrary iteration
+boundaries completes with labels and history **bit-identical** to a
+single uninterrupted run.  See ``docs/service.md``.
+"""
+
+from .admission import AdmissionController, job_memory_bytes
+from .api import ClusterService
+from .cache import CachedResult, ResultCache
+from .chaos import KillPlan, SimulatedWorkerDeath, chaos_service_run
+from .jobs import JOB_MODES, JobSpec, graph_fingerprint, job_cache_key
+from .queue import CLAIMABLE_STATES, JOB_STATES, JobQueue, JobRow
+from .runner import DEFAULT_LEASE_SECONDS, ServiceRunner
+from .stream import MetricsStream, tail_metrics
+
+__all__ = [
+    "AdmissionController",
+    "CachedResult",
+    "ClusterService",
+    "CLAIMABLE_STATES",
+    "DEFAULT_LEASE_SECONDS",
+    "JOB_MODES",
+    "JOB_STATES",
+    "JobQueue",
+    "JobRow",
+    "JobSpec",
+    "KillPlan",
+    "MetricsStream",
+    "ResultCache",
+    "ServiceRunner",
+    "SimulatedWorkerDeath",
+    "chaos_service_run",
+    "graph_fingerprint",
+    "job_cache_key",
+    "job_memory_bytes",
+    "tail_metrics",
+]

@@ -1,0 +1,56 @@
+"""Admission control: gate concurrent jobs on the memory planner's budgets.
+
+The SUMMA phase planner (:func:`repro.summa.phases.plan_phases`) already
+bounds each run's transient expansion footprint to
+``config.memory_budget_bytes`` per simulated process — so the bytes a job
+is *allowed* to hold resident are known before it runs, without any
+estimation pass.  :func:`job_memory_bytes` turns that into a conservative
+per-job working-set bound, and the shared ``inflight`` ledger in the job
+queue (one SQLite table, updated atomically) gates the sum across every
+runner sharing the service directory against a service-wide budget.
+
+A job that does not fit *right now* is released back to the queue (a
+``claimed -> queued`` transition that consumes neither a retry nor a
+requeue) instead of OOMing the shared executor pool: the service degrades
+to queueing, never to crashing.
+"""
+
+from __future__ import annotations
+
+
+def job_memory_bytes(matrix, config) -> int:
+    """Conservative resident-bytes bound for one running job.
+
+    Three sources, all known before the run starts:
+
+    * the input matrix, which the driver holds globally *and* scattered
+      into the process grid (2x), plus the next iterate (3x total);
+    * the planner's per-process transient budget times the process count
+      — exactly the expansion bytes :func:`~repro.summa.phases.plan_phases`
+      will let the run keep resident at once;
+    * a fixed per-job overhead floor (64 KiB) so degenerate tiny graphs
+      still count against concurrency.
+    """
+    return (
+        3 * matrix.memory_bytes()
+        + config.memory_budget_bytes * config.processes
+        + 64 * 1024
+    )
+
+
+class AdmissionController:
+    """Byte-budget gate backed by the queue's shared ``inflight`` ledger."""
+
+    def __init__(self, queue, budget_bytes: int | None):
+        self.queue = queue
+        self.budget_bytes = budget_bytes
+
+    def admit(self, job_id: str, nbytes: int) -> bool:
+        """Try to reserve ``nbytes``; False means "not now — requeue"."""
+        return self.queue.admit(job_id, nbytes, self.budget_bytes)
+
+    def release(self, job_id: str) -> None:
+        self.queue.release_admission(job_id)
+
+    def used_bytes(self) -> int:
+        return self.queue.inflight_bytes()

@@ -1,0 +1,111 @@
+"""Seeded worker-death chaos for the service layer.
+
+PR 2's fault injector kills *operations* inside a run; this module kills
+*workers* between iterations.  A :class:`KillPlan` draws, per runner
+incarnation, the iteration boundary at which that incarnation dies —
+raising :class:`SimulatedWorkerDeath`, which deliberately derives from
+``BaseException`` so no recovery ladder, retry handler, or ``except
+Exception`` inside the runner can absorb it: like ``SIGKILL``, the only
+thing left behind is whatever was already durable (the queue row, the
+per-iteration checkpoints, the flushed metrics lines).
+
+The headline guarantee is exercised by :func:`chaos_service_run`: submit
+one job, then keep starting runner incarnations — each doomed to die at
+a drawn boundary — expiring the dead incarnation's lease between
+attempts, until the job completes.  The caller compares the result
+against an uninterrupted run; bit-identity is the acceptance criterion
+pinned in ``tests/test_service_chaos.py`` and swept by
+``tools/run_chaos.py --service``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class SimulatedWorkerDeath(BaseException):
+    """A chaos-injected worker kill (uncatchable by normal recovery)."""
+
+
+class KillPlan:
+    """Deterministic schedule of worker deaths at iteration boundaries.
+
+    ``seed`` drives an independent RNG stream; ``horizon`` bounds the
+    drawn kill iteration (1..horizon).  Each runner incarnation calls
+    :meth:`next_incarnation` once, then :meth:`check` at every iteration
+    boundary; ``max_kills`` caps the total deaths so a chaos loop always
+    terminates (after the budget is spent every incarnation survives).
+    """
+
+    def __init__(self, seed: int, *, horizon: int = 8, max_kills: int = 16):
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.seed = seed
+        self.horizon = horizon
+        self.max_kills = max_kills
+        self.kills = 0
+        self.incarnations = 0
+        self._rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=(seed, 0xC4A05))
+        )
+        self._kill_at: int | None = None
+
+    def next_incarnation(self) -> int | None:
+        """Arm the next runner incarnation; returns its doom iteration
+        (absolute index) or ``None`` when the kill budget is spent."""
+        self.incarnations += 1
+        if self.kills >= self.max_kills:
+            self._kill_at = None
+        else:
+            self._kill_at = int(self._rng.integers(1, self.horizon + 1))
+        return self._kill_at
+
+    def check(self, iteration: int) -> None:
+        """Die if this incarnation's doom boundary has been reached."""
+        if self._kill_at is not None and iteration >= self._kill_at:
+            self.kills += 1
+            self._kill_at = None
+            raise SimulatedWorkerDeath(
+                f"chaos kill #{self.kills} (seed {self.seed}) at iteration "
+                f"boundary {iteration}"
+            )
+
+
+def chaos_service_run(
+    service,
+    job_id: str,
+    plan: KillPlan,
+    *,
+    clock,
+    lease_seconds: float = 30.0,
+    max_incarnations: int = 64,
+    **runner_kwargs,
+):
+    """Drive ``job_id`` to completion through crashing runner incarnations.
+
+    Each incarnation is a fresh :class:`~repro.service.runner.ServiceRunner`
+    armed with ``plan``; when chaos kills it the (fake) ``clock`` jumps
+    past its lease so the next sweep requeues the orphaned job, exactly
+    as a wall-clock service would after a real worker death.  Returns the
+    finished :class:`~repro.service.queue.JobRow`.
+    """
+    from ..errors import ServiceError
+
+    for _ in range(max_incarnations):
+        state = service.queue.get(job_id).state
+        if state in ("done", "failed"):
+            return service.queue.get(job_id)
+        plan.next_incarnation()
+        runner = service.make_runner(
+            lease_seconds=lease_seconds, chaos=plan, **runner_kwargs
+        )
+        try:
+            runner.drain()
+        except SimulatedWorkerDeath:
+            # The incarnation is gone; its lease must expire before the
+            # job is claimable again.  Jump time past it.
+            clock.advance(lease_seconds + 1.0)
+    raise ServiceError(
+        f"job {job_id!r} did not finish within {max_incarnations} "
+        "runner incarnations"
+    )

@@ -1,0 +1,446 @@
+"""The durable job queue: an SQLite table with atomic state transitions.
+
+Jobs move through a small, explicit state machine::
+
+    queued ──claim──▶ claimed ──start──▶ running ──▶ done
+       ▲                 │                  │   └──▶ failed (budget spent)
+       │              release            lease      │
+       └── retry ◀── (admission) ◀──── expired ─────┘
+       │                                    │
+       └────────────── requeued ◀───────────┘
+
+``requeued`` is a *claimable* state like ``queued`` — it exists so the
+history of a job shows that a worker died holding it.  Every transition
+is one ``UPDATE ... WHERE state IN (...)`` statement guarded by the
+expected previous state (and, for worker-held states, the holding
+worker), so two runners racing on the same row cannot both win: SQLite
+serializes the writes and the loser's ``rowcount`` is 0.  In particular
+an expired lease is requeued **exactly once per expiry** no matter how
+many runners sweep at the same moment.
+
+The queue never sleeps and never reads the wall clock directly — a
+``clock`` callable is injected (default ``time.time``) so tests drive
+lease expiry and retry backoff deterministically.
+
+Retry policy: a failed attempt schedules the job ``backoff_base *
+2**(attempts-1)`` seconds into the future (``not_before``), up to
+``max_retries`` retries; the budget spent, the job parks in ``failed``
+with the last error message.  Crash-requeues (lease expiry) do not
+consume the retry budget — a dead worker is the *service's* fault, not
+the job's.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..errors import ServiceError
+
+#: States a runner may claim a job from.
+CLAIMABLE_STATES = ("queued", "requeued")
+
+#: Every state the machine knows (documented in docs/service.md).
+JOB_STATES = ("queued", "claimed", "running", "done", "failed", "requeued")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id            TEXT PRIMARY KEY,
+    seq           INTEGER,           -- submission order (claim priority)
+    state         TEXT NOT NULL,
+    spec          TEXT NOT NULL,     -- JobSpec JSON
+    cache_key     TEXT,              -- (graph, config/options) fingerprint
+    submitted_at  REAL NOT NULL,
+    not_before    REAL NOT NULL,     -- earliest claim time (retry backoff)
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    max_retries   INTEGER NOT NULL DEFAULT 3,
+    backoff_base  REAL NOT NULL DEFAULT 1.0,
+    worker        TEXT,              -- current lease holder
+    lease_expires REAL,
+    heartbeat_at  REAL,
+    requeues      INTEGER NOT NULL DEFAULT 0,
+    releases      INTEGER NOT NULL DEFAULT 0,
+    result        TEXT,              -- result JSON once done
+    error         TEXT,              -- last failure message
+    updated_at    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_state ON jobs (state, not_before, seq);
+CREATE TABLE IF NOT EXISTS inflight (
+    job_id TEXT PRIMARY KEY,         -- admission-controller ledger
+    bytes  INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS seq_counter (n INTEGER NOT NULL);
+"""
+
+
+@dataclass(frozen=True)
+class JobRow:
+    """One job's row, decoded (``spec``/``result`` are dicts)."""
+
+    id: str
+    seq: int
+    state: str
+    spec: dict
+    cache_key: str | None
+    submitted_at: float
+    not_before: float
+    attempts: int
+    max_retries: int
+    backoff_base: float
+    worker: str | None
+    lease_expires: float | None
+    heartbeat_at: float | None
+    requeues: int
+    releases: int
+    result: dict | None
+    error: str | None
+    updated_at: float
+
+
+_COLUMNS = (
+    "id, seq, state, spec, cache_key, submitted_at, not_before, attempts, "
+    "max_retries, backoff_base, worker, lease_expires, heartbeat_at, "
+    "requeues, releases, result, error, updated_at"
+)
+
+
+def _decode(row) -> JobRow:
+    (jid, seq, state, spec, cache_key, submitted_at, not_before, attempts,
+     max_retries, backoff_base, worker, lease_expires, heartbeat_at,
+     requeues, releases, result, error, updated_at) = row
+    return JobRow(
+        id=jid, seq=seq, state=state, spec=json.loads(spec),
+        cache_key=cache_key, submitted_at=submitted_at,
+        not_before=not_before, attempts=attempts, max_retries=max_retries,
+        backoff_base=backoff_base, worker=worker,
+        lease_expires=lease_expires, heartbeat_at=heartbeat_at,
+        requeues=requeues, releases=releases,
+        result=json.loads(result) if result else None,
+        error=error, updated_at=updated_at,
+    )
+
+
+class JobQueue:
+    """A crash-safe job table in one SQLite file (see module docstring)."""
+
+    def __init__(self, path, *, clock=time.time):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.clock = clock
+        self._db = sqlite3.connect(self.path, isolation_level=None)
+        # WAL lets a submitting client and a running worker interleave
+        # without "database is locked" stalls on short transactions.
+        self._db.execute("PRAGMA journal_mode=WAL")
+        self._db.execute("PRAGMA synchronous=NORMAL")
+        self._db.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        self._db.close()
+
+    # -- submission ------------------------------------------------------
+
+    def submit(
+        self,
+        spec: dict,
+        *,
+        job_id: str | None = None,
+        cache_key: str | None = None,
+        max_retries: int = 3,
+        backoff_base: float = 1.0,
+    ) -> str:
+        """Append a job in ``queued`` state; returns its id."""
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_base < 0:
+            raise ServiceError(
+                f"backoff_base must be >= 0, got {backoff_base}"
+            )
+        jid = job_id or uuid.uuid4().hex[:12]
+        now = self.clock()
+        with self._txn():
+            cur = self._db.execute("SELECT n FROM seq_counter")
+            row = cur.fetchone()
+            seq = (row[0] if row else 0) + 1
+            if row is None:
+                self._db.execute("INSERT INTO seq_counter VALUES (?)", (seq,))
+            else:
+                self._db.execute("UPDATE seq_counter SET n = ?", (seq,))
+            try:
+                self._db.execute(
+                    "INSERT INTO jobs (id, seq, state, spec, cache_key, "
+                    "submitted_at, not_before, attempts, max_retries, "
+                    "backoff_base, requeues, releases, updated_at) "
+                    "VALUES (?, ?, 'queued', ?, ?, ?, ?, 0, ?, ?, 0, 0, ?)",
+                    (jid, seq, json.dumps(spec, sort_keys=True), cache_key,
+                     now, now, max_retries, backoff_base, now),
+                )
+            except sqlite3.IntegrityError:
+                raise ServiceError(f"job id {jid!r} already exists") from None
+        return jid
+
+    # -- worker-side transitions -----------------------------------------
+
+    def claim(
+        self,
+        worker: str,
+        *,
+        lease_seconds: float,
+        job_id: str | None = None,
+    ) -> JobRow | None:
+        """Atomically claim the oldest eligible job for ``worker``.
+
+        Eligible: state ``queued``/``requeued`` with ``not_before`` in the
+        past.  ``job_id`` restricts the claim to one specific job (the
+        submit-time cache-hit path).  Returns the claimed row (state
+        already ``claimed``) or ``None`` when nothing is ready.
+        """
+        now = self.clock()
+        extra, params = "", ()
+        if job_id is not None:
+            extra, params = " AND id = ?", (job_id,)
+        with self._txn():
+            cur = self._db.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE state IN (?, ?) AND "
+                f"not_before <= ?{extra} ORDER BY seq LIMIT 1",
+                (*CLAIMABLE_STATES, now, *params),
+            )
+            row = cur.fetchone()
+            if row is None:
+                return None
+            jid, prev_state = row[0], row[2]
+            cur = self._db.execute(
+                "UPDATE jobs SET state='claimed', worker=?, lease_expires=?, "
+                "heartbeat_at=?, updated_at=? WHERE id=? AND state=?",
+                (worker, now + lease_seconds, now, now, jid, prev_state),
+            )
+            if cur.rowcount != 1:  # pragma: no cover - needs a racing writer
+                return None
+        return self.get(jid)
+
+    def mark_running(self, job_id: str, worker: str) -> bool:
+        """``claimed -> running`` (the worker began real work)."""
+        return self._transition(
+            job_id, worker, frm=("claimed",), to="running"
+        )
+
+    def heartbeat(
+        self, job_id: str, worker: str, *, lease_seconds: float
+    ) -> bool:
+        """Extend the lease; False means the lease was lost (the job was
+        requeued from under us, or belongs to someone else) and the
+        worker must abandon the job without writing results."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET lease_expires=?, heartbeat_at=?, updated_at=? "
+            "WHERE id=? AND worker=? AND state IN ('claimed', 'running')",
+            (now + lease_seconds, now, now, job_id, worker),
+        )
+        return cur.rowcount == 1
+
+    def complete(self, job_id: str, worker: str, result: dict) -> bool:
+        """``running|claimed -> done`` with the result payload."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET state='done', result=?, worker=NULL, "
+            "lease_expires=NULL, error=NULL, updated_at=? "
+            "WHERE id=? AND worker=? AND state IN ('claimed', 'running')",
+            (json.dumps(result, sort_keys=True), now, job_id, worker),
+        )
+        return cur.rowcount == 1
+
+    def fail(self, job_id: str, worker: str, error: str) -> str:
+        """Record a failed attempt; schedules a backoff retry or parks the
+        job in ``failed`` when the retry budget is spent.
+
+        Returns the resulting state (``"queued"`` or ``"failed"``).
+        """
+        now = self.clock()
+        with self._txn():
+            cur = self._db.execute(
+                "SELECT attempts, max_retries, backoff_base FROM jobs "
+                "WHERE id=? AND worker=? AND state IN ('claimed', 'running')",
+                (job_id, worker),
+            )
+            row = cur.fetchone()
+            if row is None:
+                raise ServiceError(
+                    f"cannot fail job {job_id!r}: not held by {worker!r}"
+                )
+            attempts, max_retries, backoff_base = row
+            attempts += 1
+            if attempts > max_retries:
+                self._db.execute(
+                    "UPDATE jobs SET state='failed', attempts=?, error=?, "
+                    "worker=NULL, lease_expires=NULL, updated_at=? "
+                    "WHERE id=?",
+                    (attempts, error, now, job_id),
+                )
+                return "failed"
+            delay = backoff_base * 2 ** (attempts - 1)
+            self._db.execute(
+                "UPDATE jobs SET state='queued', attempts=?, error=?, "
+                "worker=NULL, lease_expires=NULL, not_before=?, "
+                "updated_at=? WHERE id=?",
+                (attempts, error, now + delay, now, job_id),
+            )
+            return "queued"
+
+    def release(self, job_id: str, worker: str, *, delay: float = 0.0) -> bool:
+        """``claimed -> queued`` without consuming a retry (admission
+        control backing off a claim it cannot run yet)."""
+        now = self.clock()
+        cur = self._db.execute(
+            "UPDATE jobs SET state='queued', worker=NULL, "
+            "lease_expires=NULL, not_before=?, releases=releases+1, "
+            "updated_at=? WHERE id=? AND worker=? AND state='claimed'",
+            (now + delay, now, job_id, worker),
+        )
+        return cur.rowcount == 1
+
+    # -- service-side sweeps ---------------------------------------------
+
+    def requeue_expired(self) -> list[str]:
+        """Requeue every job whose lease expired (worker presumed dead).
+
+        One sweep flips each expired job ``claimed|running -> requeued``
+        exactly once (the UPDATE is guarded by the held states, so a
+        concurrent sweep cannot double-count) and clears the dead
+        worker's admission ledger entries.  Returns the requeued ids.
+        """
+        now = self.clock()
+        with self._txn():
+            cur = self._db.execute(
+                "SELECT id FROM jobs WHERE state IN ('claimed', 'running') "
+                "AND lease_expires IS NOT NULL AND lease_expires < ? "
+                "ORDER BY seq",
+                (now,),
+            )
+            ids = [r[0] for r in cur.fetchall()]
+            requeued = []
+            for jid in ids:
+                cur = self._db.execute(
+                    "UPDATE jobs SET state='requeued', worker=NULL, "
+                    "lease_expires=NULL, requeues=requeues+1, updated_at=? "
+                    "WHERE id=? AND state IN ('claimed', 'running') AND "
+                    "lease_expires < ?",
+                    (now, jid, now),
+                )
+                if cur.rowcount == 1:
+                    requeued.append(jid)
+                    self._db.execute(
+                        "DELETE FROM inflight WHERE job_id=?", (jid,)
+                    )
+        return requeued
+
+    # -- admission ledger (shared across runner processes) ---------------
+
+    def inflight_bytes(self) -> int:
+        cur = self._db.execute("SELECT COALESCE(SUM(bytes), 0) FROM inflight")
+        return int(cur.fetchone()[0])
+
+    def admit(self, job_id: str, nbytes: int, budget: int | None) -> bool:
+        """Reserve ``nbytes`` for ``job_id`` if the shared budget has room.
+
+        A single job larger than the whole budget is admitted when it
+        would run *alone* — otherwise it could never run at all (queue,
+        don't starve).  Atomic: the check and the insert share one
+        transaction.
+        """
+        with self._txn():
+            cur = self._db.execute(
+                "SELECT COALESCE(SUM(bytes), 0), COUNT(*) FROM inflight"
+            )
+            used, njobs = cur.fetchone()
+            if budget is not None and used + nbytes > budget and njobs > 0:
+                return False
+            self._db.execute(
+                "INSERT OR REPLACE INTO inflight (job_id, bytes) "
+                "VALUES (?, ?)",
+                (job_id, nbytes),
+            )
+        return True
+
+    def release_admission(self, job_id: str) -> None:
+        self._db.execute("DELETE FROM inflight WHERE job_id=?", (job_id,))
+
+    # -- inspection ------------------------------------------------------
+
+    def get(self, job_id: str) -> JobRow:
+        cur = self._db.execute(
+            f"SELECT {_COLUMNS} FROM jobs WHERE id=?", (job_id,)
+        )
+        row = cur.fetchone()
+        if row is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        return _decode(row)
+
+    def list_jobs(self, state: str | None = None) -> list[JobRow]:
+        if state is None:
+            cur = self._db.execute(
+                f"SELECT {_COLUMNS} FROM jobs ORDER BY seq"
+            )
+        else:
+            cur = self._db.execute(
+                f"SELECT {_COLUMNS} FROM jobs WHERE state=? ORDER BY seq",
+                (state,),
+            )
+        return [_decode(r) for r in cur.fetchall()]
+
+    def counts(self) -> dict[str, int]:
+        """Jobs per state (all states present, zero-filled)."""
+        out = {s: 0 for s in JOB_STATES}
+        cur = self._db.execute(
+            "SELECT state, COUNT(*) FROM jobs GROUP BY state"
+        )
+        for state, n in cur.fetchall():
+            out[state] = n
+        return out
+
+    def pending(self) -> int:
+        """Jobs that still need work (claimable or currently held)."""
+        cur = self._db.execute(
+            "SELECT COUNT(*) FROM jobs WHERE state IN "
+            "('queued', 'requeued', 'claimed', 'running')"
+        )
+        return int(cur.fetchone()[0])
+
+    # -- internals -------------------------------------------------------
+
+    def _txn(self):
+        return _Txn(self._db)
+
+    def _transition(self, job_id, worker, *, frm, to) -> bool:
+        now = self.clock()
+        marks = ", ".join("?" for _ in frm)
+        cur = self._db.execute(
+            f"UPDATE jobs SET state=?, updated_at=? WHERE id=? AND "
+            f"worker=? AND state IN ({marks})",
+            (to, now, job_id, worker, *frm),
+        )
+        return cur.rowcount == 1
+
+    def __repr__(self):
+        return f"JobQueue({os.fspath(self.path)!r}, {self.counts()})"
+
+
+class _Txn:
+    """``BEGIN IMMEDIATE`` transaction: holds the write lock across a
+    read-then-write sequence so claims and admissions are atomic."""
+
+    def __init__(self, db):
+        self._db = db
+
+    def __enter__(self):
+        self._db.execute("BEGIN IMMEDIATE")
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self._db.execute("COMMIT")
+        else:
+            self._db.execute("ROLLBACK")

@@ -1,0 +1,74 @@
+"""Streaming job progress: append-only NDJSON metrics, tailable mid-run.
+
+The observability layer (PR 5) collects :class:`MetricEvent` samples in
+memory and exports them at the end of a run; a service job instead
+**streams** them — the runner flushes new events to the job's
+``.ndjson`` file at every iteration boundary (the same boundary where
+the checkpoint is durable and the lease heartbeats), so a client tailing
+the file sees ``iteration.nnz`` / ``iteration.chaos`` / ``estimator.bound``
+samples land while the job runs, across crashes and resumes.
+
+Lines use exactly the :func:`repro.trace.metrics.write_metrics_ndjson`
+schema, so ``read_metrics_ndjson`` loads a finished stream unchanged.
+:func:`tail_metrics` is the client half: incremental reads from a byte
+offset, never trusting a torn final line (a killed writer may leave one;
+the next read picks it up once the newline lands).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class MetricsStream:
+    """Append-only NDJSON writer over a tracer's metric buffer.
+
+    Tracks how many of ``tracer.metrics`` have been flushed; each
+    :meth:`flush` appends only the new suffix.  One stream per runner
+    incarnation; the file accumulates across incarnations (the job's
+    whole story, including the pre-crash attempts' flushed progress).
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._flushed = 0
+
+    def flush(self, tracer) -> int:
+        """Append events recorded since the last flush; returns the count."""
+        events = tracer.metrics[self._flushed:]
+        if not events:
+            return 0
+        with open(self.path, "a", encoding="utf-8") as fh:
+            for ev in events:
+                fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+                fh.write("\n")
+        self._flushed += len(events)
+        return len(events)
+
+
+def tail_metrics(path, offset: int = 0) -> tuple[list[dict], int]:
+    """Read complete metric lines from byte ``offset``.
+
+    Returns ``(events, new_offset)``; pass ``new_offset`` back to poll
+    incrementally.  A trailing partial line (torn write from a killed
+    runner) is left for the next call.  A missing file reads as empty —
+    the job may not have started yet.
+    """
+    path = Path(path)
+    if not path.exists():
+        return [], offset
+    with open(path, "rb") as fh:
+        fh.seek(offset)
+        chunk = fh.read()
+    events = []
+    consumed = 0
+    for line in chunk.splitlines(keepends=True):
+        if not line.endswith(b"\n"):
+            break  # torn tail: wait for the rest
+        text = line.strip()
+        if text:
+            events.append(json.loads(text))
+        consumed += len(line)
+    return events, offset + consumed

@@ -236,3 +236,70 @@ def test_experiment_unknown(capsys):
 def test_bad_command_rejected():
     with pytest.raises(SystemExit):
         main(["fly"])
+
+
+# ---------------------------------------------------------------------------
+# The service subcommands: submit / serve / jobs
+# ---------------------------------------------------------------------------
+
+
+def _submit(tmp_path, capsys, net_path, *extra):
+    svc = str(tmp_path / "svc")
+    assert main(["submit", svc, str(net_path), "--select", "30"]
+                + list(extra)) == 0
+    jid, state = capsys.readouterr().out.split()
+    return svc, jid, state
+
+
+def test_service_submit_serve_jobs_roundtrip(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    capsys.readouterr()
+
+    svc, jid, state = _submit(tmp_path, capsys, net_path)
+    assert state == "queued"
+
+    assert main(["serve", svc, "--drain", "--poll", "0.01"]) == 0
+    err = capsys.readouterr().err
+    assert f"{jid} done" in err
+
+    assert main(["jobs", svc]) == 0
+    out = capsys.readouterr().out
+    assert jid in out and "done" in out and "clusters=" in out
+
+    clusters = tmp_path / "clusters.txt"
+    assert main(["jobs", svc, jid, "-o", str(clusters), "--tail"]) == 0
+    captured = capsys.readouterr()
+    assert "job.done" in captured.out  # --tail streams the NDJSON events
+    assert clusters.read_text().strip()  # cluster lines written
+
+
+def test_service_resubmit_serves_from_cache(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    capsys.readouterr()
+
+    svc, _, _ = _submit(tmp_path, capsys, net_path)
+    main(["serve", svc, "--drain", "--poll", "0.01"])
+    capsys.readouterr()
+
+    _, jid2, state = _submit(tmp_path, capsys, net_path)
+    assert state == "done"  # served at submit time, no runner involved
+    assert main(["jobs", svc, jid2]) == 0
+    assert '"cache_hit": true' in capsys.readouterr().out
+
+
+def test_service_jobs_unknown_id(tmp_path, capsys):
+    svc = str(tmp_path / "svc")
+    (tmp_path / "svc").mkdir()
+    assert main(["jobs", svc, "nope"]) == 2
+    assert "unknown job" in capsys.readouterr().err
+
+
+def test_service_output_before_done_fails(tmp_path, capsys):
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:120:10", "-o", str(net_path)])
+    capsys.readouterr()
+    svc, jid, _ = _submit(tmp_path, capsys, net_path)
+    assert main(["jobs", svc, jid, "-o", str(tmp_path / "c.txt")]) == 3
+    assert "no result" in capsys.readouterr().err

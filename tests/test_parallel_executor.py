@@ -206,6 +206,73 @@ class TestProcessExecutor:
 
 
 # ---------------------------------------------------------------------------
+# Bounded lazy restarts (the crash-streak escalation)
+# ---------------------------------------------------------------------------
+
+
+class TestRestartBound:
+    def _crash(self, ex):
+        with pytest.raises(ExecutorError, match="worker died"):
+            ex.run_batch(os._exit, [(3,)])
+
+    def test_streak_past_budget_turns_terminal(self):
+        ex = ProcessExecutor(2, max_restarts=1, restart_backoff=0.0)
+        try:
+            self._crash(ex)  # streak 1: restart still allowed
+            self._crash(ex)  # streak 2: budget spent
+            # The next batch must not burn another restart: it fails
+            # *before* building a pool, with the terminal diagnosis.
+            with pytest.raises(ExecutorError, match="giving up"):
+                ex.run_batch(pow, [(2, 2)])
+            assert ex._pool is None  # never rebuilt
+        finally:
+            ex.reset()
+            ex.close()
+
+    def test_successful_batch_resets_the_streak(self):
+        ex = ProcessExecutor(2, max_restarts=1, restart_backoff=0.0)
+        try:
+            self._crash(ex)
+            assert ex.run_batch(pow, [(2, 3)]) == [8]  # forgives the past
+            assert ex._crash_streak == 0
+            self._crash(ex)  # a fresh streak gets a fresh budget
+            assert ex.run_batch(pow, [(2, 4)]) == [16]
+        finally:
+            ex.close()
+
+    def test_reset_rearms_a_terminal_executor(self):
+        ex = ProcessExecutor(2, max_restarts=0, restart_backoff=0.0)
+        try:
+            self._crash(ex)
+            with pytest.raises(ExecutorError, match="giving up"):
+                ex.run_batch(pow, [(2, 2)])
+            ex.reset()
+            assert ex.run_batch(pow, [(2, 5)]) == [32]
+        finally:
+            ex.close()
+
+    def test_restart_backoff_grows_exponentially(self, monkeypatch):
+        waits = []
+        monkeypatch.setattr(time, "sleep", waits.append)
+        ex = ProcessExecutor(2, max_restarts=3, restart_backoff=0.5)
+        try:
+            self._crash(ex)
+            self._crash(ex)
+            self._crash(ex)
+        finally:
+            monkeypatch.undo()
+            ex.reset()
+            ex.close()
+        # Restart k in the streak waits base * 2**(k-1); the first pool
+        # build (streak 0) waits nothing.
+        assert waits == [0.5, 1.0]
+
+    def test_negative_max_restarts_rejected(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            ProcessExecutor(2, max_restarts=-1)
+
+
+# ---------------------------------------------------------------------------
 # Thread backend
 # ---------------------------------------------------------------------------
 

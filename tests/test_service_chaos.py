@@ -1,0 +1,184 @@
+"""The headline service guarantee: kill the runner anywhere, lose nothing.
+
+A job whose runner is killed (``SimulatedWorkerDeath`` — a
+``BaseException`` that tears through every handler like SIGKILL) and
+restarted at arbitrary iteration boundaries must complete with labels
+and numeric trajectory **bit-identical** to a single uninterrupted run,
+with every expired lease requeued exactly once and the retry budget
+untouched (a dead worker is the service's fault, not the job's).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mcl import MclOptions
+from repro.mcl.hipmcl import HipMCLConfig, hipmcl
+from repro.nets import planted_network
+from repro.resilience.equivalence import TRAJECTORY_FIELDS, trajectory
+from repro.service import ClusterService, JobSpec, KillPlan, chaos_service_run
+from repro.sparse import read_matrix_market, write_matrix_market
+
+LEASE = 30.0
+
+OPTIONS = {
+    "inflation": 2.0,
+    "select_number": 30,
+    "max_iterations": 60,
+}
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture(scope="module")
+def net_path(tmp_path_factory):
+    net = planted_network(
+        120, intra_degree=10.0, inter_degree=1.0, seed=7
+    )
+    path = tmp_path_factory.mktemp("nets") / "tiny.mtx"
+    write_matrix_market(net.matrix, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def baseline(net_path):
+    """The uninterrupted run every chaos run must reproduce exactly."""
+    return hipmcl(
+        read_matrix_market(net_path),
+        MclOptions(**OPTIONS),
+        HipMCLConfig.optimized(nodes=4),
+    )
+
+
+def run_chaos(tmp_path, net_path, seed, baseline, *, max_kills=6):
+    clock = FakeClock()
+    service = ClusterService(tmp_path / f"svc-{seed}", clock=clock)
+    try:
+        jid = service.submit(JobSpec(
+            graph=str(net_path), mode="optimized", nodes=4,
+            options=dict(OPTIONS),
+        ))
+        plan = KillPlan(
+            seed, horizon=baseline.iterations, max_kills=max_kills
+        )
+        job = chaos_service_run(
+            service, jid, plan,
+            clock=clock, lease_seconds=LEASE, sleep=clock.advance,
+        )
+        result = service.result(jid)
+        return service, job, plan, result
+    except BaseException:
+        service.close()
+        raise
+
+
+class TestKillRestartEquivalence:
+    def test_labels_and_trajectory_bit_identical(
+        self, tmp_path, net_path, baseline
+    ):
+        service, job, plan, result = run_chaos(
+            tmp_path, net_path, seed=1, baseline=baseline
+        )
+        try:
+            assert plan.kills > 0, "chaos plan never killed a worker"
+            assert job.state == "done"
+            assert np.array_equal(result.labels, baseline.labels)
+            assert result.converged == baseline.converged
+            assert result.iterations == baseline.iterations
+            # The pinned equivalence contract: the numeric trajectory
+            # (nnz, flops, estimator bounds, cf, chaos per iteration) —
+            # timing accounting is explicitly excluded, it legitimately
+            # differs across a resume.
+            chaos_traj = [
+                tuple(h[f] for f in TRAJECTORY_FIELDS)
+                for h in result.history
+            ]
+            assert chaos_traj == trajectory(baseline)
+        finally:
+            service.close()
+
+    def test_expired_leases_requeued_exactly_once_each(
+        self, tmp_path, net_path, baseline
+    ):
+        service, job, plan, _ = run_chaos(
+            tmp_path, net_path, seed=2, baseline=baseline
+        )
+        try:
+            # One lease expiry per kill; each requeued exactly once.
+            assert job.requeues == plan.kills > 0
+            # Crash-requeues never consume the retry budget.
+            assert job.attempts == 0
+        finally:
+            service.close()
+
+    def test_resubmit_after_chaos_serves_from_cache(
+        self, tmp_path, net_path, baseline
+    ):
+        service, job, plan, result = run_chaos(
+            tmp_path, net_path, seed=3, baseline=baseline
+        )
+        try:
+            jid2 = service.submit(JobSpec(
+                graph=str(net_path), mode="optimized", nodes=4,
+                options=dict(OPTIONS),
+            ))
+            job2 = service.status(jid2)
+            assert job2.state == "done"  # served at submit time
+            assert job2.result["cache_hit"] is True
+            assert np.array_equal(
+                service.labels(jid2), baseline.labels
+            )
+        finally:
+            service.close()
+
+    def test_survivor_resumed_from_checkpoints(
+        self, tmp_path, net_path, baseline
+    ):
+        service, job, plan, _ = run_chaos(
+            tmp_path, net_path, seed=4, baseline=baseline
+        )
+        try:
+            # The job's metric stream shows at least one incarnation
+            # picking up a predecessor's checkpoint.
+            events, _ = service.progress(job.id)
+            resumes = [
+                e for e in events if e["name"] == "job.resume_candidate"
+            ]
+            assert plan.kills > 0
+            assert resumes, "no incarnation ever offered a resume"
+            # Checkpoints are cleared once the job is done.
+            assert not service.checkpoint_dir(job.id).exists()
+        finally:
+            service.close()
+
+
+@pytest.mark.tier2_service
+class TestChaosSweep:
+    """Heavier multi-seed sweep (tier-2: ``-m tier2_service``)."""
+
+    @pytest.mark.parametrize("seed", range(5, 13))
+    def test_seed_sweep(self, tmp_path, net_path, baseline, seed):
+        service, job, plan, result = run_chaos(
+            tmp_path, net_path, seed=seed, baseline=baseline,
+            max_kills=10,
+        )
+        try:
+            assert job.state == "done"
+            assert job.requeues == plan.kills
+            assert np.array_equal(result.labels, baseline.labels)
+            assert trajectory(baseline) == [
+                tuple(h[f] for f in TRAJECTORY_FIELDS)
+                for h in result.history
+            ]
+        finally:
+            service.close()

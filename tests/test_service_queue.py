@@ -1,0 +1,311 @@
+"""The durable job queue's state machine, leases, retries, and admission.
+
+Everything here drives the queue through an injected fake clock — no
+test sleeps, and every lease expiry / backoff window is crossed by
+advancing simulated time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service import (
+    CLAIMABLE_STATES,
+    JOB_STATES,
+    AdmissionController,
+    JobQueue,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 1000.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def queue(tmp_path, clock):
+    q = JobQueue(tmp_path / "queue.db", clock=clock)
+    yield q
+    q.close()
+
+
+SPEC = {"graph": "catalog:archaea-xs", "mode": "optimized"}
+
+
+class TestSubmitAndClaim:
+    def test_submit_enqueues(self, queue):
+        jid = queue.submit(SPEC)
+        job = queue.get(jid)
+        assert job.state == "queued"
+        assert job.spec == SPEC
+        assert job.attempts == 0 and job.requeues == 0
+
+    def test_duplicate_id_rejected(self, queue):
+        queue.submit(SPEC, job_id="dup")
+        with pytest.raises(ServiceError, match="already exists"):
+            queue.submit(SPEC, job_id="dup")
+
+    def test_bad_retry_policy_rejected(self, queue):
+        with pytest.raises(ServiceError, match="max_retries"):
+            queue.submit(SPEC, max_retries=-1)
+        with pytest.raises(ServiceError, match="backoff_base"):
+            queue.submit(SPEC, backoff_base=-0.5)
+
+    def test_claim_is_fifo_by_submission(self, queue):
+        first = queue.submit(SPEC)
+        second = queue.submit(SPEC)
+        got = queue.claim("w1", lease_seconds=30.0)
+        assert got is not None and got.id == first
+        got = queue.claim("w1", lease_seconds=30.0)
+        assert got is not None and got.id == second
+
+    def test_claim_empty_queue(self, queue):
+        assert queue.claim("w1", lease_seconds=30.0) is None
+
+    def test_claim_sets_lease(self, queue, clock):
+        jid = queue.submit(SPEC)
+        job = queue.claim("w1", lease_seconds=30.0)
+        assert job.id == jid and job.state == "claimed"
+        assert job.worker == "w1"
+        assert job.lease_expires == clock.now + 30.0
+
+    def test_claimed_job_not_claimable_by_others(self, queue):
+        queue.submit(SPEC)
+        assert queue.claim("w1", lease_seconds=30.0) is not None
+        assert queue.claim("w2", lease_seconds=30.0) is None
+
+    def test_claim_specific_job_id(self, queue):
+        queue.submit(SPEC)
+        target = queue.submit(SPEC)
+        job = queue.claim("w1", lease_seconds=30.0, job_id=target)
+        assert job is not None and job.id == target
+
+    def test_unknown_job_raises(self, queue):
+        with pytest.raises(ServiceError, match="unknown job"):
+            queue.get("nope")
+
+
+class TestTransitions:
+    def test_full_happy_path(self, queue):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.mark_running(jid, "w1")
+        assert queue.complete(jid, "w1", {"n_clusters": 3})
+        job = queue.get(jid)
+        assert job.state == "done"
+        assert job.result == {"n_clusters": 3}
+        assert job.worker is None and job.lease_expires is None
+
+    def test_wrong_worker_cannot_transition(self, queue):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        assert not queue.mark_running(jid, "w2")
+        assert not queue.complete(jid, "w2", {})
+        assert queue.get(jid).state == "claimed"
+
+    def test_complete_from_done_is_rejected(self, queue):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.complete(jid, "w1", {"a": 1})
+        assert not queue.complete(jid, "w1", {"a": 2})
+        assert queue.get(jid).result == {"a": 1}
+
+    def test_release_returns_to_queued_without_retry(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.release(jid, "w1", delay=5.0)
+        job = queue.get(jid)
+        assert job.state == "queued"
+        assert job.attempts == 0  # no retry consumed
+        assert job.releases == 1
+        # not claimable until the delay passes
+        assert queue.claim("w2", lease_seconds=30.0) is None
+        clock.advance(5.0)
+        assert queue.claim("w2", lease_seconds=30.0) is not None
+
+
+class TestHeartbeat:
+    def test_heartbeat_extends_lease(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        clock.advance(20.0)
+        assert queue.heartbeat(jid, "w1", lease_seconds=30.0)
+        assert queue.get(jid).lease_expires == clock.now + 30.0
+
+    def test_heartbeat_after_requeue_reports_lost(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        clock.advance(31.0)
+        assert queue.requeue_expired() == [jid]
+        assert not queue.heartbeat(jid, "w1", lease_seconds=30.0)
+
+    def test_heartbeat_by_stranger_rejected(self, queue):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        assert not queue.heartbeat(jid, "w2", lease_seconds=30.0)
+
+
+class TestRequeueExpired:
+    def test_expired_lease_requeued_exactly_once(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        clock.advance(31.0)
+        assert queue.requeue_expired() == [jid]
+        assert queue.requeue_expired() == []  # second sweep: nothing
+        job = queue.get(jid)
+        assert job.state == "requeued"
+        assert job.requeues == 1
+        assert job.attempts == 0  # crash-requeue burns no retry
+
+    def test_live_lease_not_requeued(self, queue, clock):
+        queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        clock.advance(29.0)
+        assert queue.requeue_expired() == []
+
+    def test_requeued_job_is_claimable(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        clock.advance(31.0)
+        queue.requeue_expired()
+        job = queue.claim("w2", lease_seconds=30.0)
+        assert job is not None and job.id == jid
+
+    def test_running_jobs_also_reaped(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        queue.mark_running(jid, "w1")
+        clock.advance(31.0)
+        assert queue.requeue_expired() == [jid]
+
+    def test_reap_clears_admission_ledger(self, queue, clock):
+        jid = queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.admit(jid, 1024, budget=None)
+        assert queue.inflight_bytes() == 1024
+        clock.advance(31.0)
+        queue.requeue_expired()
+        assert queue.inflight_bytes() == 0
+
+
+class TestRetryBackoff:
+    def test_fail_schedules_exponential_backoff(self, queue, clock):
+        jid = queue.submit(SPEC, max_retries=3, backoff_base=2.0)
+        expected_delays = [2.0, 4.0, 8.0]  # base * 2**(attempts-1)
+        for attempt, delay in enumerate(expected_delays, start=1):
+            clock.advance(delay)  # past the previous backoff window
+            assert queue.claim("w1", lease_seconds=30.0) is not None
+            state = queue.fail(jid, "w1", f"boom {attempt}")
+            assert state == "queued"
+            job = queue.get(jid)
+            assert job.attempts == attempt
+            assert job.not_before == pytest.approx(clock.now + delay)
+            # not claimable inside the backoff window
+            assert queue.claim("w1", lease_seconds=30.0) is None
+
+    def test_budget_spent_parks_in_failed(self, queue, clock):
+        jid = queue.submit(SPEC, max_retries=1, backoff_base=1.0)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.fail(jid, "w1", "first") == "queued"
+        clock.advance(10.0)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.fail(jid, "w1", "second") == "failed"
+        job = queue.get(jid)
+        assert job.state == "failed"
+        assert job.error == "second"
+        assert queue.claim("w1", lease_seconds=30.0) is None
+
+    def test_zero_retries_fails_immediately(self, queue):
+        jid = queue.submit(SPEC, max_retries=0)
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.fail(jid, "w1", "boom") == "failed"
+
+    def test_fail_without_holding_raises(self, queue):
+        jid = queue.submit(SPEC)
+        with pytest.raises(ServiceError, match="not held"):
+            queue.fail(jid, "w1", "boom")
+
+
+class TestAdmission:
+    def test_budget_enforced(self, queue):
+        ctl = AdmissionController(queue, budget_bytes=1000)
+        assert ctl.admit("a", 600)
+        assert not ctl.admit("b", 600)  # 1200 > 1000
+        assert ctl.admit("c", 400)
+        assert ctl.used_bytes() == 1000
+
+    def test_release_frees_budget(self, queue):
+        ctl = AdmissionController(queue, budget_bytes=1000)
+        assert ctl.admit("a", 800)
+        ctl.release("a")
+        assert ctl.used_bytes() == 0
+        assert ctl.admit("b", 900)
+
+    def test_oversized_job_admitted_alone(self, queue):
+        ctl = AdmissionController(queue, budget_bytes=100)
+        assert ctl.admit("big", 5000)  # alone: queue, don't starve
+        assert not ctl.admit("other", 10)
+        ctl.release("big")
+        assert ctl.admit("other", 10)
+
+    def test_no_budget_admits_everything(self, queue):
+        ctl = AdmissionController(queue, budget_bytes=None)
+        assert ctl.admit("a", 10**15)
+        assert ctl.admit("b", 10**15)
+
+
+class TestInspection:
+    def test_counts_zero_filled(self, queue):
+        counts = queue.counts()
+        assert counts == {s: 0 for s in JOB_STATES}
+        queue.submit(SPEC)
+        queue.submit(SPEC)
+        assert queue.counts()["queued"] == 2
+
+    def test_pending_tracks_unfinished(self, queue):
+        jid = queue.submit(SPEC)
+        assert queue.pending() == 1
+        queue.claim("w1", lease_seconds=30.0)
+        assert queue.pending() == 1
+        queue.complete(jid, "w1", {})
+        assert queue.pending() == 0
+
+    def test_list_jobs_filters_by_state(self, queue):
+        a = queue.submit(SPEC)
+        queue.submit(SPEC)
+        queue.claim("w1", lease_seconds=30.0)
+        queue.complete(a, "w1", {})
+        assert [j.id for j in queue.list_jobs("done")] == [a]
+        assert len(queue.list_jobs()) == 2
+
+    def test_claimable_states_documented(self):
+        assert set(CLAIMABLE_STATES) <= set(JOB_STATES)
+
+    def test_repr_mentions_counts(self, queue):
+        queue.submit(SPEC)
+        assert "queued" in repr(queue)
+
+
+class TestDurability:
+    def test_queue_survives_reopen(self, tmp_path, clock):
+        q1 = JobQueue(tmp_path / "q.db", clock=clock)
+        jid = q1.submit(SPEC)
+        q1.claim("w1", lease_seconds=30.0)
+        q1.close()  # the process dies; the file remains
+        clock.advance(31.0)
+        q2 = JobQueue(tmp_path / "q.db", clock=clock)
+        assert q2.requeue_expired() == [jid]
+        assert q2.get(jid).state == "requeued"
+        q2.close()

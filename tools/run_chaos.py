@@ -1,18 +1,26 @@
 #!/usr/bin/env python
 """Chaos sweep: verify fault recovery never changes the clustering.
 
-Runs one fault-free HipMCL baseline, then N runs with deterministic
-fault plans (seeds 0..N-1), and checks every faulted run reproduces the
+Two modes share one contract — a chaos run must reproduce the fault-free
 baseline bit-for-bit (labels and the numeric per-iteration trajectory —
-see repro.resilience.equivalence).  Any divergence is a resilience bug:
+see repro.resilience.equivalence).  Any divergence is a resilience bug.
+
+Default mode kills *operations* inside a run (PR 2's fault injector):
 
     PYTHONPATH=src python tools/run_chaos.py --plans 25
     PYTHONPATH=src python tools/run_chaos.py --net eukarya-xs \\
         --plans 10 --intensity 0.5
 
+``--service`` mode kills *workers*: each plan submits the job to a
+throwaway clustering service and kill/restarts the runner at seeded
+iteration boundaries until the job completes, then checks labels,
+trajectory, and the exactly-once requeue accounting:
+
+    PYTHONPATH=src python tools/run_chaos.py --service --plans 10
+
 Exit status: 0 when every plan converges to the baseline, 1 on any
-divergence, 2 on setup errors.  The same sweep runs in CI as the
-``tier2_chaos`` pytest marker.
+divergence, 2 on setup errors.  The same sweeps run in CI as the
+``tier2_chaos`` and ``tier2_service`` pytest markers.
 """
 
 from __future__ import annotations
@@ -58,6 +66,17 @@ def main(argv=None) -> int:
         "core); the baseline stays serial, so a pass also certifies the "
         "parallel backend's bit-identity under fault recovery",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="kill/restart mode: run each plan through the clustering "
+        "service, killing the runner at seeded iteration boundaries and "
+        "resuming from checkpoints (see docs/service.md)",
+    )
+    parser.add_argument(
+        "--max-kills", type=int, default=8,
+        help="worker deaths per service plan before chaos relents "
+        "(default 8; --service only)",
+    )
     args = parser.parse_args(argv)
     if args.plans < 1:
         print("error: --plans must be >= 1", file=sys.stderr)
@@ -83,6 +102,9 @@ def main(argv=None) -> int:
         f"{baseline.iterations} iterations, "
         f"{baseline.elapsed_seconds:.4f} simulated s"
     )
+
+    if args.service:
+        return _service_sweep(args, entry, baseline)
 
     failures = 0
     for seed in range(args.seed0, args.seed0 + args.plans):
@@ -116,6 +138,96 @@ def main(argv=None) -> int:
         )
         return 1
     print(f"OK: {args.plans} fault plans, all bit-identical to baseline")
+    return 0
+
+
+def _service_sweep(args, entry, baseline) -> int:
+    """Kill/restart sweep: every plan's job must finish bit-identical."""
+    import tempfile
+
+    import numpy as np
+
+    from repro.resilience.equivalence import TRAJECTORY_FIELDS, trajectory
+    from repro.service import ClusterService, JobSpec, KillPlan
+    from repro.service import chaos_service_run
+
+    class FakeClock:
+        def __init__(self):
+            self.now = 1000.0
+
+        def __call__(self):
+            return self.now
+
+        def advance(self, seconds):
+            self.now += seconds
+
+    from dataclasses import asdict
+
+    spec = JobSpec(
+        graph=f"catalog:{args.net}",
+        mode="optimized",
+        nodes=args.nodes,
+        options=asdict(options_for(args.net)),
+        config={"memory_budget_bytes": entry.memory_budget_bytes},
+        workers=args.workers,
+    )
+    base_traj = trajectory(baseline)
+    failures = 0
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-svc-") as tmp:
+        for seed in range(args.seed0, args.seed0 + args.plans):
+            clock = FakeClock()
+            service = ClusterService(
+                Path(tmp) / f"svc-{seed}", clock=clock
+            )
+            try:
+                jid = service.submit(spec)
+                plan = KillPlan(
+                    seed,
+                    horizon=max(1, baseline.iterations),
+                    max_kills=args.max_kills,
+                )
+                job = chaos_service_run(
+                    service, jid, plan, clock=clock, sleep=clock.advance
+                )
+                result = service.result(jid)
+                diffs = []
+                if job.state != "done":
+                    diffs.append(f"job finished in state {job.state!r}")
+                if job.requeues != plan.kills:
+                    diffs.append(
+                        f"{plan.kills} kills but {job.requeues} requeues "
+                        "(expiry must requeue exactly once)"
+                    )
+                if not np.array_equal(result.labels, baseline.labels):
+                    diffs.append("labels differ from baseline")
+                got_traj = [
+                    tuple(h[f] for f in TRAJECTORY_FIELDS)
+                    for h in result.history
+                ]
+                if got_traj != base_traj:
+                    diffs.append("numeric trajectory differs from baseline")
+                status = "ok" if not diffs else "DIVERGED"
+                print(
+                    f"plan seed={seed}: {plan.kills} worker kills over "
+                    f"{plan.incarnations} incarnations, "
+                    f"{job.requeues} requeues ... {status}"
+                )
+                if diffs:
+                    failures += 1
+                    for d in diffs:
+                        print(f"    {d}")
+            finally:
+                service.close()
+    if failures:
+        print(
+            f"FAIL: {failures}/{args.plans} kill/restart plans diverged "
+            "from the uninterrupted baseline",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {args.plans} kill/restart plans, all bit-identical to baseline"
+    )
     return 0
 
 
