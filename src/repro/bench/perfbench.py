@@ -8,7 +8,9 @@ regressions in the numeric kernels are caught in review.  It runs
 * six microbenchmarks, one per fast-path kernel family
   (esc, hash, merge, prune, estimator, components),
 * a parallel-SpKAdd merge sweep: :func:`repro.merge.spkadd.spkadd_merge`
-  timed over list count × nnz skew × worker count, and
+  timed over list count × nnz skew × worker count,
+* a pipeline sweep: end-to-end runs over network × SUMMA broadcast
+  schedule (sync vs static) × worker count, and
 * a worker-scaling sweep: the densest network end-to-end under each
   pool execution backend (threads and processes) at 1, 2 and 4 workers,
 
@@ -29,7 +31,10 @@ Version 4 added the ``merge_impl`` field and the ``merge_sweep``
 section — the parallel-SpKAdd micro-sweep over list count × nnz skew ×
 worker count.  Schema-3 baselines lack those rows, so a ``--check``
 against one simply compares the shared names (the merge sweep is gated
-only once a schema-4 baseline is recorded).
+only once a schema-4 baseline is recorded).  Version 5 added the
+``pipeline_sweep`` section — end-to-end runs over network × SUMMA
+broadcast schedule (sync vs the fully-static pipeline) × worker count —
+gated the same way: older baselines simply never pair with its rows.
 
 Wall-clock on shared machines is noisy: every measurement is the best of
 ``repeats`` runs after one warmup, and the comparison uses a generous
@@ -56,9 +61,16 @@ SCALING_NET = "isom100-3-xs"
 SCALING_WORKERS = (1, 2, 4)
 SCALING_BACKENDS = ("thread", "process")
 
-SCHEMA_VERSION = 4
+SCHEMA_VERSION = 5
 #: Baseline schema versions this harness can still compare against.
-SUPPORTED_SCHEMAS = (2, 3, 4)
+SUPPORTED_SCHEMAS = (2, 3, 4, 5)
+
+#: The pipeline sweep: net × broadcast schedule × worker count.  The
+#: static schedule moves only *simulated* time; these rows pin the
+#: wall-clock cost of walking the stage graph (it must stay noise-level).
+PIPELINE_SWEEP_NETS = ("eukarya-xs", "isom100-3-xs")
+PIPELINE_SWEEP_SCHEDULES = ("sync", "static")
+PIPELINE_SWEEP_WORKERS = (1, 4)
 
 #: The merge micro-sweep: k partial lists × nnz skew × worker count.
 #: "skewed" gives list 0 ten times the density of the rest — the shape
@@ -95,6 +107,7 @@ def bench_end_to_end(
     backend: str | None = None,
     overlap: bool | str | None = None,
     trace=None,
+    schedule: str | None = None,
 ) -> dict:
     """Time one full fast-path HipMCL run on a catalog network.
 
@@ -112,7 +125,8 @@ def bench_end_to_end(
     net = load_network(net_name)
     opts = options_for(net_name)
     cfg = HipMCLConfig.optimized(
-        nodes=16, memory_budget_bytes=entry.memory_budget_bytes
+        nodes=16, memory_budget_bytes=entry.memory_budget_bytes,
+        schedule=schedule or "sync",
     )
     result = {}
 
@@ -254,6 +268,7 @@ def run_perfbench(
     scaling: bool = True,
     backend: str | None = None,
     overlap: bool | str | None = None,
+    pipeline: bool = True,
 ) -> dict:
     """Run every benchmark; returns the JSON-serializable report.
 
@@ -261,7 +276,9 @@ def run_perfbench(
     the end-to-end runs (resolved values are recorded in the report);
     the scaling sweep pins its own counts and sweeps both pool backends.
     ``scaling=False`` skips the sweep (it costs six extra end-to-end
-    runs of :data:`SCALING_NET`).
+    runs of :data:`SCALING_NET`); ``pipeline=False`` skips the
+    schedule sweep (eight extra end-to-end runs over
+    :data:`PIPELINE_SWEEP_NETS`).
     """
     from ..merge.spkadd import resolve_merge_impl
     from ..parallel import resolve_backend, resolve_overlap, resolve_workers
@@ -279,6 +296,7 @@ def run_perfbench(
         "end_to_end": {},
         "micro": {},
         "merge_sweep": {},
+        "pipeline_sweep": {},
         "scaling": {},
     }
     for net in nets:
@@ -302,6 +320,18 @@ def run_perfbench(
                 if log:
                     log(f"merge {cell}: "
                         f"{report['merge_sweep'][cell]['seconds'] * 1e3:.1f}ms")
+    if pipeline:
+        for net in PIPELINE_SWEEP_NETS:
+            for sched in PIPELINE_SWEEP_SCHEDULES:
+                for w in PIPELINE_SWEEP_WORKERS:
+                    cell = f"{net}-{sched}-w{w}"
+                    report["pipeline_sweep"][cell] = bench_end_to_end(
+                        net, repeats=1, workers=w, backend="thread",
+                        schedule=sched,
+                    )
+                    if log:
+                        log(f"pipeline {cell}: "
+                            f"{report['pipeline_sweep'][cell]['seconds']:.3f}s")
     if scaling:
         per_backend = report["scaling"][SCALING_NET] = {}
         for be in SCALING_BACKENDS:
@@ -348,6 +378,9 @@ def _flatten(report: dict) -> dict:
         # Schema 4.  Absent from older reports, so a schema-3 baseline
         # pairing simply never sees these names.
         out[f"merge_sweep/{cell}"] = float(row["seconds"])
+    for cell, row in report.get("pipeline_sweep", {}).items():
+        # Schema 5; same forward-compatibility story as merge_sweep.
+        out[f"pipeline_sweep/{cell}"] = float(row["seconds"])
     for net, counts in report.get("scaling", {}).items():
         for key, row in counts.items():
             if _is_scaling_row(row):
@@ -413,6 +446,14 @@ def remeasure_into(
                 int(kk[1:]), skew, int(wk[1:]), repeats=repeats
             )["seconds"]
             row = report["merge_sweep"][parts[1]]
+        elif parts[0] == "pipeline_sweep" and len(parts) == 2:
+            # Net names contain dashes, so split from the right.
+            net, sched, wk = parts[1].rsplit("-", 2)
+            sec = bench_end_to_end(
+                net, repeats=1, workers=int(wk[1:]), backend="thread",
+                schedule=sched,
+            )["seconds"]
+            row = report["pipeline_sweep"][parts[1]]
         elif parts[0] == "scaling" and len(parts) == 3:
             # Legacy schema-2 name: the process-backend sweep.
             net, wk = parts[1], parts[2]
@@ -519,20 +560,23 @@ def validate_report(report) -> list[str]:
                 problems.append(
                     f"{section}/{name} lacks a numeric 'seconds' field"
                 )
-    # merge_sweep arrived with schema 4; older reports simply lack it.
-    sweep = report.get("merge_sweep")
-    if sweep is not None:
+    # merge_sweep arrived with schema 4, pipeline_sweep with schema 5;
+    # older reports simply lack them.
+    for section in ("merge_sweep", "pipeline_sweep"):
+        sweep = report.get(section)
+        if sweep is None:
+            continue
         if not isinstance(sweep, dict):
-            problems.append("malformed 'merge_sweep' section")
-        else:
-            for cell, row in sweep.items():
-                if not (
-                    isinstance(row, dict)
-                    and isinstance(row.get("seconds"), (int, float))
-                ):
-                    problems.append(
-                        f"merge_sweep/{cell} lacks a numeric 'seconds' field"
-                    )
+            problems.append(f"malformed {section!r} section")
+            continue
+        for cell, row in sweep.items():
+            if not (
+                isinstance(row, dict)
+                and isinstance(row.get("seconds"), (int, float))
+            ):
+                problems.append(
+                    f"{section}/{cell} lacks a numeric 'seconds' field"
+                )
     scaling = report.get("scaling", {})
     if not isinstance(scaling, dict):
         problems.append("malformed 'scaling' section")

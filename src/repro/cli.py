@@ -120,6 +120,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "for every choice (default: REPRO_MERGE_IMPL or auto)",
     )
     clu.add_argument(
+        "--schedule", choices=["sync", "static"], default=None,
+        help="SUMMA broadcast schedule: blocking collectives (sync) or "
+        "the fully-static pipeline (async double-buffered broadcasts on "
+        "per-row/column links, per-column prune overlap); 'static' "
+        "changes the simulated makespan — clustering results stay "
+        "identical (default sync)",
+    )
+    clu.add_argument(
         "--trace", metavar="FILE",
         help="record the run with the observability tracer and write a "
         "Chrome trace-event JSON (load in Perfetto; distributed modes "
@@ -276,6 +284,7 @@ def _cmd_cluster(args) -> int:
             (args.backend, "--backend"),
             (args.overlap, "--overlap"),
             (args.merge_impl, "--merge-impl"),
+            (args.schedule, "--schedule"),
             (args.trace, "--trace"),
             (args.metrics, "--metrics"),
         ):
@@ -295,11 +304,19 @@ def _cmd_cluster(args) -> int:
             return 3
         extra = ""
     else:
+        schedule = args.schedule or "sync"
+        if schedule == "static" and args.mode in ("original", "cpu"):
+            print(
+                "--schedule static needs the pipelined engine "
+                "(--mode optimized)",
+                file=sys.stderr,
+            )
+            return 2
         cfg = {
             "optimized": HipMCLConfig.optimized,
             "original": HipMCLConfig.original,
             "cpu": HipMCLConfig.optimized_cpu,
-        }[args.mode](nodes=args.nodes)
+        }[args.mode](nodes=args.nodes, schedule=schedule)
         faults = None
         if args.fault_seed is not None:
             from .resilience import FaultPlan

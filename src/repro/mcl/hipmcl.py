@@ -88,6 +88,13 @@ class HipMCLConfig:
     memory_budget_bytes: int = 8 * 2**20
     seed: int = 0
     run_real_kernels: bool = False
+    #: SUMMA broadcast schedule: "sync" (blocking collectives on the
+    #: member CPUs) or "static" (the precomputed stage graph with async
+    #: double-buffered broadcasts on link clocks and the per-block-column
+    #: incremental prune).  A *simulation-semantics* knob — it changes
+    #: the modeled timings by design and therefore enters the checkpoint
+    #: fingerprint, unlike the wall-clock workers/backend/overlap knobs.
+    schedule: str = "sync"
     #: Recovery behavior (retry ladders, degradation, validators); ``None``
     #: runs without any recovery armed — exactly the pre-resilience
     #: driver.  Passing ``faults=`` to :func:`hipmcl` without a policy
@@ -101,6 +108,16 @@ class HipMCLConfig:
             raise ValueError(f"unknown estimator {self.estimator!r}")
         if self.nodes < 1:
             raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if self.schedule not in ("sync", "static"):
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                "options: ['sync', 'static']"
+            )
+        if self.schedule == "static" and not self.pipelined:
+            raise ValueError(
+                "schedule='static' requires pipelined=True (the "
+                "bulk-synchronous SUMMA barriers every stage)"
+            )
         if self.use_gpu and self.spec.gpus_per_node == 0:
             raise ValueError(
                 "use_gpu=True on a machine without GPUs "
@@ -204,6 +221,7 @@ class HipMCLConfig:
             threads=self.threads_per_process,
             threaded_node=self.threaded_node,
             run_real_kernels=self.run_real_kernels,
+            schedule=self.schedule,
         )
 
 
@@ -284,6 +302,15 @@ class HipMCLResult:
     #: 0 for a fresh run; the checkpoint's iteration when resumed.
     resumed_from_iteration: int = 0
     checkpoints_written: int = 0
+    # -- static pipeline schedule evidence (zero under schedule="sync") --
+    #: Simulated seconds the expansions' async broadcasts spent in flight
+    #: while the rank clocks advanced through multiplies and merges.
+    bcast_overlap_seconds: float = 0.0
+    #: Simulated seconds the per-column prunes ran while the next phases'
+    #: broadcasts were still on the links.
+    prune_bcast_overlap_seconds: float = 0.0
+    #: Total seconds the broadcast links carried traffic.
+    link_busy_seconds: float = 0.0
 
     def as_mcl_result(self) -> MclResult:
         return MclResult(
@@ -635,6 +662,8 @@ def _hipmcl_run(
     phase_split_retries = 0
     kernel_demotions = 0
     merge_demotions = 0
+    bcast_overlap_seconds = 0.0
+    prune_bcast_overlap_seconds = 0.0
     checkpoints_written = 0
     resumed_from_iteration = 0
     elapsed_offset = 0.0
@@ -670,6 +699,10 @@ def _hipmcl_run(
         phase_split_retries = int(c.get("phase_split_retries", 0))
         kernel_demotions = int(c.get("kernel_demotions", 0))
         merge_demotions = int(c.get("merge_demotions", 0))
+        bcast_overlap_seconds = float(c.get("bcast_overlap_seconds", 0.0))
+        prune_bcast_overlap_seconds = float(
+            c.get("prune_bcast_overlap_seconds", 0.0)
+        )
     else:
         work = prepare_matrix(matrix, options)
     n = work.nrows
@@ -825,6 +858,81 @@ def _hipmcl_run(
                     )
             return pruned_blocks
 
+        def prune_column_callback(col_blocks, j, phase_index):
+            """Static-schedule prune: one block column, fired by the
+            engine the moment that column's merges finish — while the
+            next stages' broadcasts are still in flight on the links.
+
+            Charges the same per-column prune/top-k/exchange costs as
+            ``_prune_phase`` in the same per-column order; with a pool
+            the physical prune is deferred (the engine resolves the
+            returned callable in column order), so the simulated
+            accounting is identical across every execution cell.
+            """
+            with maybe_span(
+                "prune", "mcl", iteration=it, phase=phase_index, column=j
+            ) as psp:
+                col_ranks = grid.col_members(j)
+                cols = [col_blocks[(i, j)] for i in range(grid.q)]
+                nnz_in = sum(b.nnz for b in cols)
+                prune_totals["in"] += nnz_in
+                for i in range(grid.q):
+                    rank = grid.rank_of(i, j)
+                    clock = comm.clocks[rank]
+                    local_nnz = cols[i].nnz
+                    clock.cpu.schedule(
+                        clock.cpu.free_at,
+                        spec.prune_time(
+                            local_nnz, threads,
+                            threaded_node=config.threaded_node,
+                        ),
+                        "prune",
+                    )
+                    if options.select_number:
+                        clock.cpu.schedule(
+                            clock.cpu.free_at,
+                            spec.topk_time(
+                                local_nnz, options.select_number, threads
+                            ),
+                            "prune",
+                        )
+                if options.select_number:
+                    width = cols[0].ncols
+                    per_rank_cand = min(
+                        max((blk.nnz for blk in cols), default=0),
+                        options.select_number * width,
+                    )
+                    comm.alltoall(
+                        col_ranks, 16 * per_rank_cand // max(1, grid.q),
+                        "topk_exchange",
+                    )
+                psp.set(nnz_in=nnz_in)
+                if options.recover_number != 0:
+                    slab = _assemble_block_column(col_blocks, grid, n, j)
+                    pruned, _stats = prune_columns(slab, options)
+                    prune_totals["out"] += pruned.nnz
+                    return _split_block_column(pruned, grid, n, j)
+                if executor.workers > 1:
+                    from ..parallel.work import prune_block_column
+
+                    handle = executor.submit_batch(
+                        prune_block_column, [(cols, options)],
+                        label=f"prune column {j}",
+                        attrs={"column": j},
+                    )
+
+                    def resolve(handle=handle, j=j):
+                        pruned_col = handle.result()[0]
+                        prune_totals["out"] += sum(
+                            b.nnz for b in pruned_col
+                        )
+                        return {(i, j): pruned_col[i] for i in range(grid.q)}
+
+                    return resolve
+                pruned_col = distributed_prune_block_column(cols, options)
+                prune_totals["out"] += sum(b.nnz for b in pruned_col)
+                return {(i, j): pruned_col[i] for i in range(grid.q)}
+
         expansion_t0 = comm.barrier()
         busy_before = [
             (c.cpu.busy_total(), c.gpu.busy_total()) for c in comm.clocks
@@ -845,6 +953,7 @@ def _hipmcl_run(
                 summa_cfg,
                 phases=attempt_phases,
                 phase_callback=prune_callback,
+                phase_column_callback=prune_column_callback,
                 injector=summa_injector,
                 executor=executor,
                 overlap=overlap,
@@ -857,6 +966,10 @@ def _hipmcl_run(
             gpu_fallbacks += summa_res.gpu_fallbacks
             kernel_demotions += summa_res.kernel_demotions
             merge_demotions += summa_res.merge_demotions
+            bcast_overlap_seconds += summa_res.bcast_overlap_seconds
+            prune_bcast_overlap_seconds += (
+                summa_res.prune_bcast_overlap_seconds
+            )
             peak_rank_resident_bytes = max(
                 peak_rank_resident_bytes, summa_res.max_rank_resident_bytes
             )
@@ -1003,6 +1116,10 @@ def _hipmcl_run(
                         "phase_split_retries": phase_split_retries,
                         "kernel_demotions": kernel_demotions,
                         "merge_demotions": merge_demotions,
+                        "bcast_overlap_seconds": bcast_overlap_seconds,
+                        "prune_bcast_overlap_seconds": (
+                            prune_bcast_overlap_seconds
+                        ),
                     },
                     fingerprint=fingerprint,
                 ),
@@ -1057,6 +1174,9 @@ def _hipmcl_run(
         ),
         resumed_from_iteration=resumed_from_iteration,
         checkpoints_written=checkpoints_written,
+        bcast_overlap_seconds=bcast_overlap_seconds,
+        prune_bcast_overlap_seconds=prune_bcast_overlap_seconds,
+        link_busy_seconds=comm.link_busy_seconds(),
     )
     if strict and not converged:
         err = ConvergenceError(

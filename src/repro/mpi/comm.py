@@ -13,9 +13,10 @@ in the timelines.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 from ..errors import CommunicatorError
-from ..machine.clock import RankClock
+from ..machine.clock import RankClock, ResourceTimeline
 from ..machine.spec import MachineSpec
 
 
@@ -23,6 +24,42 @@ from ..machine.spec import MachineSpec
 #: (failed collective attempts, backoff, straggler delays, aborted GPU
 #: staging).  Folds into the "other" stage bucket of Fig. 1 reports.
 RESILIENCE_ACCOUNT = "resilience"
+
+
+class CollectiveResult(NamedTuple):
+    """Interval one synchronous collective occupied on its members' CPUs.
+
+    ``start`` is when the last member arrived (the collective's common
+    launch time), ``end`` when everyone exits together.  Returned by the
+    broadcast-family calls so callers never recompute the start from the
+    member clocks (they used to — the engine duplicated ``_collective``'s
+    ``max(free_at)`` scan for its trace rows).
+    """
+
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class AsyncBroadcast:
+    """Completion handle of one :meth:`VirtualComm.broadcast_async`.
+
+    The broadcast occupies its row/column *link* for ``[start, end]``;
+    nothing blocks on it until a consumer waits on ``end`` (the engine
+    gates each local multiply on its two input handles).  The CPUs of the
+    member ranks are never charged — that is the §III pipeline's point:
+    stage-(k+1) traffic rides the wires while stage-k compute owns the
+    cores.
+    """
+
+    channel: str
+    start: float
+    end: float
+    nbytes: int
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
 
 
 @dataclass
@@ -65,6 +102,12 @@ class VirtualComm:
             raise CommunicatorError(f"process count must be positive: {nprocs}")
         self.spec = spec
         self.clocks = [RankClock() for _ in range(nprocs)]
+        #: Per-channel link timelines for async broadcasts, created on
+        #: first use.  A channel is one broadcast tree's wires (e.g. the
+        #: row-``i`` tree, keyed ``"row:3"``); successive async broadcasts
+        #: on the same channel serialize on it, which is the double-buffer
+        #: depth bound the static schedule relies on.
+        self.links: dict[str, ResourceTimeline] = {}
         self.traffic = TrafficStats()
         self.injector = injector
         if injector is not None and retry is None:
@@ -132,7 +175,7 @@ class VirtualComm:
 
     def _collective(
         self, ranks: list[int], duration: float, account: str
-    ) -> float:
+    ) -> CollectiveResult:
         """Common synchronizing pattern: start when the *last* member's CPU
         is free, run ``duration``, everyone exits together."""
         self._check_group(ranks)
@@ -143,45 +186,146 @@ class VirtualComm:
         for r in ranks:
             self.clocks[r].cpu.schedule(start, duration, account)
         self.traffic.collective_calls += 1
-        return end
+        return CollectiveResult(start, end)
 
     def broadcast(
         self, ranks: list[int], nbytes: int, account: str = "summa_bcast"
-    ) -> float:
+    ) -> CollectiveResult:
         """Charge a broadcast of ``nbytes`` within ``ranks``.
 
-        Returns the completion time.  Volume counts payload once per
-        *receiving* rank (what the wires carry in a binomial tree).
+        Returns the ``(start, end)`` interval.  Volume counts payload once
+        per *receiving* rank (what the wires carry in a binomial tree).
         """
         if nbytes < 0:
             raise CommunicatorError(f"negative payload: {nbytes}")
         duration = self.spec.bcast_time(nbytes, len(ranks))
-        end = self._collective(ranks, duration, account)
+        result = self._collective(ranks, duration, account)
         self.traffic.bytes_broadcast += nbytes * max(0, len(ranks) - 1)
-        return end
+        return result
 
     def allreduce(
         self, ranks: list[int], nbytes: int, account: str = "allreduce"
-    ) -> float:
+    ) -> CollectiveResult:
         """Charge a recursive-doubling allreduce of ``nbytes``."""
         if nbytes < 0:
             raise CommunicatorError(f"negative payload: {nbytes}")
         duration = self.spec.allreduce_time(nbytes, len(ranks))
-        end = self._collective(ranks, duration, account)
+        result = self._collective(ranks, duration, account)
         self.traffic.bytes_reduced += nbytes * max(0, len(ranks) - 1)
-        return end
+        return result
 
     def alltoall(
         self, ranks: list[int], nbytes_per_pair: int, account: str = "exchange"
-    ) -> float:
+    ) -> CollectiveResult:
         """Charge a pairwise all-to-all of ``nbytes_per_pair`` per pair."""
         if nbytes_per_pair < 0:
             raise CommunicatorError(f"negative payload: {nbytes_per_pair}")
         duration = self.spec.alltoall_time(nbytes_per_pair, len(ranks))
-        end = self._collective(ranks, duration, account)
+        result = self._collective(ranks, duration, account)
         n = len(ranks)
         self.traffic.bytes_exchanged += nbytes_per_pair * n * max(0, n - 1)
-        return end
+        return result
+
+    # -- asynchronous broadcasts (static pipeline schedule) --------------
+
+    def link(self, channel: str) -> ResourceTimeline:
+        """The link timeline for ``channel``, created on first use."""
+        timeline = self.links.get(channel)
+        if timeline is None:
+            timeline = self.links[channel] = ResourceTimeline()
+        return timeline
+
+    def _inject_link(
+        self, link: ResourceTimeline, ranks: list[int], duration: float
+    ) -> None:
+        """Fault plan for an async broadcast, charged to its *link*.
+
+        Mirrors :meth:`_inject` — same draw sites, same counters, same
+        tracer instants — but delays land on the channel instead of the
+        member CPUs: a straggler holds the tree's wires, and each failed
+        attempt re-occupies the link for the attempt plus backoff.  The
+        ranks never block; whoever later waits on the handle absorbs the
+        delay, exactly like a late ``MPI_Wait``.
+        """
+        from ..resilience.faults import InjectedCommFailure
+        from ..trace import current_tracer
+
+        tracer = current_tracer()
+        straggler = self.injector.straggler(len(ranks))
+        if straggler is not None:
+            idx, delay = straggler
+            link.schedule(link.free_at, delay, RESILIENCE_ACCOUNT)
+            self.traffic.straggler_events += 1
+            if tracer is not None:
+                tracer.instant(
+                    "fault.straggler", "resilience",
+                    rank=ranks[idx], delay=delay,
+                )
+        failures = self.injector.collective_failures()
+        for attempt in range(failures):
+            if attempt >= self.retry.max_retries:
+                raise InjectedCommFailure(
+                    f"collective failed {failures} times; retry policy "
+                    f"allows {self.retry.max_retries} retries"
+                )
+            cost = duration + self.retry.delay(attempt)
+            link.schedule(link.free_at, cost, RESILIENCE_ACCOUNT)
+            self.traffic.collective_retries += 1
+            self.traffic.retry_seconds += cost
+            if tracer is not None:
+                tracer.instant(
+                    "fault.collective_retry", "resilience",
+                    attempt=attempt, cost=cost, group=len(ranks),
+                )
+
+    def broadcast_async(
+        self,
+        ranks: list[int],
+        nbytes: int,
+        account: str = "summa_bcast",
+        *,
+        channel: str,
+        ready_at: float = 0.0,
+    ) -> AsyncBroadcast:
+        """Post a broadcast of ``nbytes`` on ``channel`` without blocking.
+
+        The transfer occupies the channel's link timeline starting at
+        ``max(ready_at, link.free_at)`` — it never charges the member
+        CPUs, so compute already scheduled on them proceeds concurrently.
+        Consumers gate on the returned handle's ``end``.  ``ready_at`` is
+        the scheduler's gate (in the static schedule: the time stage
+        ``s-2``'s slabs were consumed, which bounds the double buffer to
+        two live stages).
+
+        Time, traffic, and fault semantics match :meth:`broadcast`: same
+        α-β duration, same byte counters, same injector draw order — so
+        with a window of 1 (``ready_at`` = the members' synchronizing
+        start) the handle's interval equals the synchronous collective's.
+        """
+        if nbytes < 0:
+            raise CommunicatorError(f"negative payload: {nbytes}")
+        self._check_group(ranks)
+        duration = self.spec.bcast_time(nbytes, len(ranks))
+        link = self.link(channel)
+        if self.injector is not None:
+            self._inject_link(link, ranks, duration)
+        start = max(ready_at, link.free_at)
+        end = link.schedule(start, duration, account)
+        self.traffic.collective_calls += 1
+        self.traffic.bytes_broadcast += nbytes * max(0, len(ranks) - 1)
+        handle = AsyncBroadcast(
+            channel=channel, start=start, end=end, nbytes=nbytes
+        )
+        from ..trace import current_tracer
+
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event_span(
+                "broadcast.async", "comm",
+                lane=f"link:{channel}", t0_sim=start, t1_sim=end,
+                nbytes=nbytes, group=len(ranks),
+            )
+        return handle
 
     def barrier(self, ranks: list[int] | None = None) -> float:
         """Synchronize ``ranks`` (default: all) to their common maximum."""
@@ -195,14 +339,33 @@ class VirtualComm:
     # -- reporting -------------------------------------------------------
 
     def elapsed(self) -> float:
-        """The run's makespan: the latest clock."""
+        """The run's makespan: the latest rank clock.
+
+        Links are intentionally excluded: every broadcast feeding real
+        work is absorbed into the rank clocks when its consumer gates on
+        the handle, so only trailing transfers nobody waits for (posted
+        broadcasts of *empty* blocks) can outlive the clocks — they drain
+        in the background, exactly like pending sends at finalize.
+        """
         return max(c.now for c in self.clocks)
 
+    def link_busy_seconds(self) -> float:
+        """Total seconds the async-broadcast links carried traffic."""
+        return sum(link.busy_total() for link in self.links.values())
+
     def account_means(self) -> dict[str, float]:
-        """Mean busy seconds per account across ranks (stage breakdowns)."""
+        """Mean busy seconds per account across ranks (stage breakdowns).
+
+        Link traffic is folded in (divided by the rank count like any
+        other account) so ``summa_bcast`` stays populated when the static
+        schedule moves broadcasts off the member CPUs.
+        """
         totals: dict[str, float] = {}
         for c in self.clocks:
             for k, v in c.stage_report().items():
+                totals[k] = totals.get(k, 0.0) + v
+        for link in self.links.values():
+            for k, v in link.busy.items():
                 totals[k] = totals.get(k, 0.0) + v
         return {k: v / self.size for k, v in totals.items()}
 
@@ -211,6 +374,9 @@ class VirtualComm:
         out: dict[str, float] = {}
         for c in self.clocks:
             for k, v in c.stage_report().items():
+                out[k] = max(out.get(k, 0.0), v)
+        for link in self.links.values():
+            for k, v in link.busy.items():
                 out[k] = max(out.get(k, 0.0), v)
         return out
 

@@ -117,6 +117,16 @@ class SummaConfig:
     #: are bit-identical — the knob only moves wall-clock work onto the
     #: executor's workers and trades peak merge memory for speed.
     merge_impl: str | None = None
+    #: Broadcast schedule.  ``"sync"`` charges every broadcast as a
+    #: blocking collective on the member CPUs (the PR4 behavior);
+    #: ``"static"`` walks a precomputed stage graph, posting each stage's
+    #: A-row/B-column broadcasts asynchronously on per-tree link clocks so
+    #: they run under the previous stage's multiplies and merges.  Unlike
+    #: the wall-clock knobs this changes the *simulated* timings (that is
+    #: its purpose), so it participates in config fingerprints; within a
+    #: schedule, every (backend, workers, overlap, merge_impl) cell stays
+    #: bit-identical to serial.
+    schedule: str = "sync"
 
     def __post_init__(self):
         if self.kernel != "hybrid" and self.kernel not in _KERNEL_NAMES:
@@ -135,6 +145,17 @@ class SummaConfig:
             raise ValueError(
                 f"unknown merge impl {self.merge_impl!r}; "
                 f"options: {list(MERGE_IMPLS)}"
+            )
+        if self.schedule not in ("sync", "static"):
+            raise ValueError(
+                f"unknown schedule {self.schedule!r}; "
+                f"options: ['sync', 'static']"
+            )
+        if self.schedule == "static" and not self.pipelined:
+            raise ValueError(
+                "schedule='static' requires pipelined=True: the "
+                "bulk-synchronous engine barriers every stage, which is "
+                "exactly what the static schedule removes"
             )
 
 
@@ -189,6 +210,22 @@ class SummaResult:
     #: rank clocks are never touched by the scheduler.
     overlap_serial_seconds: float = 0.0
     overlap_overlapped_seconds: float = 0.0
+    # -- static pipeline schedule (simulated-clock, cell-invariant) ------
+    #: The broadcast schedule the multiply ran under ("sync" | "static").
+    schedule: str = "sync"
+    #: Link-side double-buffer window of the static schedule: 0 under
+    #: sync, 1 when the byte budget degraded static to the synchronous
+    #: path, 2 when stage-(k+1) broadcasts genuinely pipelined.
+    pipeline_window: int = 0
+    #: Simulated seconds async broadcasts spent in flight while the rank
+    #: clocks advanced through multiplies and merges — the §III evidence
+    #: that broadcast time hides behind compute.
+    bcast_overlap_seconds: float = 0.0
+    #: Simulated seconds the per-column phase prune ran while the next
+    #: stages' broadcasts were still on the wires.
+    prune_bcast_overlap_seconds: float = 0.0
+    #: Seconds this multiply's broadcasts occupied the link clocks.
+    link_busy_seconds: float = 0.0
 
     @property
     def overlap_saved_seconds(self) -> float:
@@ -301,6 +338,7 @@ def summa_multiply(
     *,
     phases: int = 1,
     phase_callback=None,
+    phase_column_callback=None,
     devices: dict[int, list[GPUDevice]] | None = None,
     injector=None,
     executor=None,
@@ -317,6 +355,18 @@ def summa_multiply(
     output slabs (dict ``(i, j) -> CSCMatrix``) and returns the (pruned)
     slabs to keep; rank clocks may be charged inside the callback (the
     HipMCL driver charges pruning there).
+
+    ``phase_column_callback(col_blocks, j, phase_index)`` is the static
+    schedule's incremental variant: under ``config.schedule ==
+    "static"`` it is called once per block column ``j`` as soon as that
+    column's merges finish — while the next stages' broadcasts are still
+    in flight on the links — with the column's ``{(i, j): CSCMatrix}``
+    slabs.  It returns the pruned slabs, or a zero-argument callable the
+    engine resolves in column order after the phase's last column (so a
+    pool-backed prune can overlap the remaining columns' merges on the
+    wall clock).  When the static schedule is off or degraded to
+    synchronous, this callback is ignored and ``phase_callback`` runs as
+    usual — callers should pass both.
 
     ``executor`` (or ``workers`` and ``backend``, resolved through
     :func:`repro.parallel.get_executor`) selects the wall-clock backend:
@@ -386,7 +436,10 @@ def summa_multiply(
     overlap_active = False
     acct = None
     armed_window = 0
-    if resolve_overlap(overlap) and parallel_stages:
+    static_requested = config.schedule == "static"
+    static_active = False
+    pipeline_window = 0
+    if static_requested or (resolve_overlap(overlap) and parallel_stages):
         from .phases import OverlapAccounting, overlap_window
 
         # Per-rank footprint of one in-flight stage: the largest A block
@@ -408,10 +461,21 @@ def summa_multiply(
             default=0,
         )
         stage_bytes = int(a_max + (b_max + phases - 1) // phases)
-        armed_window = overlap_window(stage_bytes, overlap_budget_bytes)
-        overlap_active = armed_window > 1 and q > 1
-        if overlap_active:
-            acct = OverlapAccounting()
+        window = overlap_window(stage_bytes, overlap_budget_bytes)
+        if resolve_overlap(overlap) and parallel_stages:
+            armed_window = window
+            overlap_active = armed_window > 1 and q > 1
+            if overlap_active:
+                acct = OverlapAccounting()
+        if static_requested:
+            # Same byte bound as the wall-clock prefetch: double-buffered
+            # broadcasts hold a second stage of slabs live, so a budget
+            # with no room degrades to the synchronous schedule.  Unlike
+            # ``overlap_active`` this is independent of the executor —
+            # the static schedule changes simulated time and must be
+            # identical across every (backend, workers) cell.
+            pipeline_window = window
+            static_active = pipeline_window > 1
     if devices is None and config.use_gpu:
         devices = {
             r: [
@@ -428,6 +492,9 @@ def summa_multiply(
         phases=phases,
     )
     result.overlap_window = armed_window
+    result.schedule = config.schedule
+    result.pipeline_window = pipeline_window
+    link_busy_before = comm.link_busy_seconds()
     kept_slabs: dict[tuple[int, int], list[CSCMatrix]] = {
         (i, j): [] for i in range(q) for j in range(q)
     }
@@ -498,6 +565,76 @@ def summa_multiply(
 
         return memo(blk, ("slab", lo, hi), build)
 
+    # -- static pipeline schedule: precomputed stage graph ----------------
+    # The whole expansion — every (phase, stage) with its broadcast
+    # channels — is built up front and walked flat across phase
+    # boundaries: node n+2's broadcasts are posted the moment node n's
+    # slabs are consumed, so the last stage of phase p overlaps the first
+    # broadcasts of phase p+1, and the per-column prune between them runs
+    # while those broadcasts are on the wires.  `node_consumed[n]` gates
+    # the double buffer: issue(s) waits for consumed(s-2), bounding live
+    # slabs to two stages exactly like `overlap_window`.
+    static_nodes = node_handles = None
+    node_consumed: dict[int, float] = {}
+    issue_base = 0.0
+    if static_active:
+        from .phases import build_stage_graph
+
+        static_nodes = build_stage_graph(q, phases)
+        node_handles = {}
+        issue_base = max(c.now for c in comm.clocks)
+
+    def _window_overlap(w0: float, w1: float, h) -> float:
+        return max(0.0, min(w1, h.end) - max(w0, h.start))
+
+    def issue_node(n: int) -> None:
+        node = static_nodes[n]
+        gate = node_consumed.get(n - 2, issue_base)
+        k, pp = node.stage, node.phase
+        a_handles = []
+        b_handles = []
+        a_bytes_row = np.zeros(q, dtype=np.int64)
+        b_bytes_col = np.zeros(q, dtype=np.int64)
+        with maybe_span(
+            "broadcast", "summa", phase=pp, stage=k, schedule="static"
+        ) as bsp:
+            for i in range(q):
+                nbytes = dist_a.block_storage_bytes(i, k)
+                a_bytes_row[i] = nbytes
+                h = comm.broadcast_async(
+                    grid.row_members(i), nbytes, "summa_bcast",
+                    channel=node.row_channels[i], ready_at=gate,
+                )
+                a_handles.append(h)
+                if config.trace:
+                    result.trace.append(
+                        (grid.rank_of(i, k), pp, k, "bcast_A",
+                         h.start, h.end)
+                    )
+            for j in range(q):
+                nbytes = phase_slab(k, j, pp)[1]
+                b_bytes_col[j] = nbytes
+                h = comm.broadcast_async(
+                    grid.col_members(j), nbytes, "summa_bcast",
+                    channel=node.col_channels[j], ready_at=gate,
+                )
+                b_handles.append(h)
+                if config.trace:
+                    result.trace.append(
+                        (grid.rank_of(k, j), pp, k, "bcast_B",
+                         h.start, h.end)
+                    )
+            bsp.set(
+                bytes_a=int(a_bytes_row.sum()),
+                bytes_b=int(b_bytes_col.sum()),
+            )
+        node_handles[n] = (a_handles, b_handles, a_bytes_row, b_bytes_col)
+
+    if static_active:
+        issue_node(0)
+        if len(static_nodes) > 1:
+            issue_node(1)
+
     for p in range(phases):
         merge_states = {
             (i, j): _RankMergeState(
@@ -562,34 +699,49 @@ def summa_multiply(
             if k not in staged:
                 submit_stage(k)
             slabs, slab_bytes, pairs, handle = staged.pop(k)
-            # -- broadcasts: A along rows, B along columns ------------------
-            a_bytes_row = np.zeros(q, dtype=np.int64)
-            b_bytes_col = np.zeros(q, dtype=np.int64)
-            with maybe_span("broadcast", "summa", phase=p, stage=k) as bsp:
-                for i in range(q):
-                    members = grid.row_members(i)
-                    nbytes = dist_a.block_storage_bytes(i, k)
-                    a_bytes_row[i] = nbytes
-                    start = max(comm.clocks[r].cpu.free_at for r in members)
-                    end = comm.broadcast(members, nbytes, "summa_bcast")
-                    if config.trace:
-                        result.trace.append(
-                            (grid.rank_of(i, k), p, k, "bcast_A", start, end)
-                        )
-                for j in range(q):
-                    nbytes = slab_bytes[j]
-                    b_bytes_col[j] = nbytes
-                    members = grid.col_members(j)
-                    start = max(comm.clocks[r].cpu.free_at for r in members)
-                    end = comm.broadcast(members, nbytes, "summa_bcast")
-                    if config.trace:
-                        result.trace.append(
-                            (grid.rank_of(k, j), p, k, "bcast_B", start, end)
-                        )
-                bsp.set(
-                    bytes_a=int(a_bytes_row.sum()),
-                    bytes_b=int(b_bytes_col.sum()),
+            node_idx = p * q + k
+            a_handles = b_handles = None
+            stage_window_t0 = 0.0
+            if static_active:
+                # Broadcasts were posted on the links one-or-two stages
+                # ago; this stage just picks up its handles.  The window
+                # [now, consumed] is where their in-flight time overlaps
+                # this stage's compute — the bcast_overlap evidence.
+                a_handles, b_handles, a_bytes_row, b_bytes_col = (
+                    node_handles.pop(node_idx)
                 )
+                stage_window_t0 = max(c.now for c in comm.clocks)
+            else:
+                # -- broadcasts: A along rows, B along columns --------------
+                a_bytes_row = np.zeros(q, dtype=np.int64)
+                b_bytes_col = np.zeros(q, dtype=np.int64)
+                with maybe_span(
+                    "broadcast", "summa", phase=p, stage=k
+                ) as bsp:
+                    for i in range(q):
+                        members = grid.row_members(i)
+                        nbytes = dist_a.block_storage_bytes(i, k)
+                        a_bytes_row[i] = nbytes
+                        res = comm.broadcast(members, nbytes, "summa_bcast")
+                        if config.trace:
+                            result.trace.append(
+                                (grid.rank_of(i, k), p, k, "bcast_A",
+                                 res.start, res.end)
+                            )
+                    for j in range(q):
+                        nbytes = slab_bytes[j]
+                        b_bytes_col[j] = nbytes
+                        members = grid.col_members(j)
+                        res = comm.broadcast(members, nbytes, "summa_bcast")
+                        if config.trace:
+                            result.trace.append(
+                                (grid.rank_of(k, j), p, k, "bcast_B",
+                                 res.start, res.end)
+                            )
+                    bsp.set(
+                        bytes_a=int(a_bytes_row.sum()),
+                        bytes_b=int(b_bytes_col.sum()),
+                    )
             np.maximum(
                 input_bytes_peak,
                 a_bytes_row[:, None] + b_bytes_col[None, :],
@@ -618,6 +770,7 @@ def summa_multiply(
             # with overlap armed, stage-(k+1) worker multiplies run under
             # it — the trace's evidence of the §III pipeline.
             merge_span = maybe_span("merge", "summa", phase=p, stage=k)
+            stage_available = 0.0
             for i in range(q):
                 a_blk = dist_a.block(i, k)
                 a_col_lens = a_blk.column_lengths()
@@ -628,6 +781,13 @@ def summa_multiply(
                     state = merge_states[(i, j)]
                     if a_blk.nnz == 0 or b_blk.nnz == 0:
                         continue
+                    # Under the static schedule a local multiply cannot
+                    # start before its inputs are off the wires; the sync
+                    # schedule already blocked the CPUs in the collective,
+                    # so 0.0 reproduces its numbers bit-for-bit.
+                    ready = 0.0
+                    if static_active:
+                        ready = max(a_handles[i].end, b_handles[j].end)
                     if stage_products is not None:
                         product, per_col = stage_products[(i, j)]
                     else:
@@ -667,7 +827,8 @@ def summa_multiply(
                             if isinstance(exc, InjectedFault):
                                 waste = spec.h2d_time(a_blk.memory_bytes())
                                 start = max(
-                                    clock.cpu.free_at, clock.gpu.free_at
+                                    clock.cpu.free_at, clock.gpu.free_at,
+                                    ready,
                                 )
                                 clock.cpu.schedule(
                                     start, waste, RESILIENCE_ACCOUNT
@@ -687,7 +848,7 @@ def summa_multiply(
                             kind, a_blk, b_blk, product.nnz
                         )
                         clock.cpu.schedule(
-                            clock.cpu.free_at,
+                            ready,
                             spec.cpu_spgemm_time(kind, ops, config.threads),
                             RESILIENCE_ACCOUNT,
                         )
@@ -712,7 +873,9 @@ def summa_multiply(
                         # Transfer occupies both host and device; the CPU
                         # is released as soon as the inputs are on the
                         # device (§III), the GPU continues into the kernel.
-                        start = max(clock.cpu.free_at, clock.gpu.free_at)
+                        start = max(
+                            clock.cpu.free_at, clock.gpu.free_at, ready
+                        )
                         h2d_s = spec.h2d_time(h2d)
                         clock.cpu.schedule(start, h2d_s, "h2d")
                         clock.gpu.schedule(start, h2d_s, "h2d")
@@ -744,7 +907,7 @@ def summa_multiply(
                         ops = _cpu_kernel_ops(kind, a_blk, b_blk, product.nnz)
                         dur = spec.cpu_spgemm_time(kind, ops, config.threads)
                         available = clock.cpu.schedule(
-                            clock.cpu.free_at, dur, "local_spgemm"
+                            ready, dur, "local_spgemm"
                         )
                         mult_seconds[k] += dur
                         if config.trace:
@@ -752,6 +915,7 @@ def summa_multiply(
                                 (rank, p, k, "cpu_mult",
                                  available - dur, available)
                             )
+                    stage_available = max(stage_available, available)
                     # -- merge events triggered by this arrival -----------------
                     new_events = state.push(
                         TripleList.from_csc(product, copy=False), available
@@ -788,6 +952,26 @@ def summa_multiply(
                             )
                     state.mark_charged()
             merge_span.close()
+            if static_active:
+                # This stage's slabs are consumed once every multiply has
+                # its inputs absorbed *and* the broadcasts themselves have
+                # drained (empty blocks skip the multiply but the wires
+                # still carried them).  consumed(n) gates issue(n+2).
+                consumed_t = stage_available
+                for h in (*a_handles, *b_handles):
+                    consumed_t = max(consumed_t, h.end)
+                node_consumed[node_idx] = consumed_t
+                window_t1 = max(c.now for c in comm.clocks)
+                live = [(a_handles, b_handles)] + [
+                    (hs[0], hs[1]) for hs in node_handles.values()
+                ]
+                for a_hs, b_hs in live:
+                    for h in (*a_hs, *b_hs):
+                        result.bcast_overlap_seconds += _window_overlap(
+                            stage_window_t0, window_t1, h
+                        )
+                if node_idx + 2 < len(static_nodes):
+                    issue_node(node_idx + 2)
             if not config.pipelined:
                 comm.barrier()
         if acct is not None:
@@ -796,11 +980,10 @@ def summa_multiply(
                     float(mult_seconds[kk + 1]), float(merge_seconds[kk])
                 )
         # -- phase wrap-up: final merges, callback -----------------------------
-        phase_blocks: dict[tuple[int, int], CSCMatrix] = {}
-        finish_span = maybe_span("finish_merge", "summa", phase=p)
-        for (i, j), state in merge_states.items():
+        def finish_state(i: int, j: int) -> CSCMatrix:
             rank = grid.rank_of(i, j)
             clock = comm.clocks[rank]
+            state = merge_states[(i, j)]
             outcome, new_events = state.finish()
             for ev in new_events:
                 dur = spec.merge_time(ev.operations, config.threads)
@@ -835,11 +1018,70 @@ def summa_multiply(
                 outcome.peak_resident_elements * 24
                 + int(input_bytes_peak[i, j]),
             )
-            phase_blocks[(i, j)] = outcome.result.to_csc()
-        finish_span.close()
-        if phase_callback is not None:
-            with maybe_span("phase_callback", "summa", phase=p):
-                phase_blocks = phase_callback(phase_blocks, p)
+            return outcome.result.to_csc()
+
+        phase_blocks: dict[tuple[int, int], CSCMatrix] = {}
+        if static_active and phase_column_callback is not None:
+            # Incremental prune: each block column is finished and handed
+            # to the callback as soon as its own merges are done, while
+            # the next stages' broadcasts (already posted above, up to
+            # two stages into phase p+1) are still in flight on the
+            # links.  The callback may defer its physical compute by
+            # returning a callable — resolved below in column order, so
+            # the results are independent of where the work actually ran.
+            deferred: list = []
+            for j in range(q):
+                col_ranks = grid.col_members(j)
+                # The column's inter-phase prune stage spans its final
+                # merges *and* the callback: that whole window runs while
+                # the posted next-phase broadcasts drain on the links, so
+                # the overlap evidence opens when the column's wrap-up
+                # starts, not after its merges land.
+                prune_t0 = min(
+                    comm.clocks[r].cpu.free_at for r in col_ranks
+                )
+                with maybe_span(
+                    "finish_merge", "summa", phase=p, column=j
+                ):
+                    col_blocks = {
+                        (i, j): finish_state(i, j) for i in range(q)
+                    }
+                with maybe_span(
+                    "phase_callback", "summa", phase=p, column=j
+                ):
+                    ret = phase_column_callback(col_blocks, j, p)
+                prune_t1 = max(
+                    comm.clocks[r].cpu.free_at for r in col_ranks
+                )
+                if tracer is not None:
+                    # The column's true simulated wrap-up window (its
+                    # ranks' clocks, not the global frontier) — the span
+                    # link_overlap_report intersects with the in-flight
+                    # broadcasts.
+                    tracer.event_span(
+                        "prune.column", "summa",
+                        t0_sim=prune_t0, t1_sim=prune_t1,
+                        phase=p, column=j,
+                    )
+                for hs in node_handles.values():
+                    for h in (*hs[0], *hs[1]):
+                        result.prune_bcast_overlap_seconds += (
+                            _window_overlap(prune_t0, prune_t1, h)
+                        )
+                if callable(ret):
+                    deferred.append(ret)
+                else:
+                    phase_blocks.update(ret)
+            for fn in deferred:
+                phase_blocks.update(fn())
+        else:
+            finish_span = maybe_span("finish_merge", "summa", phase=p)
+            for (i, j) in merge_states:
+                phase_blocks[(i, j)] = finish_state(i, j)
+            finish_span.close()
+            if phase_callback is not None:
+                with maybe_span("phase_callback", "summa", phase=p):
+                    phase_blocks = phase_callback(phase_blocks, p)
         for key, blk in phase_blocks.items():
             kept_slabs[key].append(blk)
         if not config.pipelined:
@@ -850,6 +1092,7 @@ def summa_multiply(
     if acct is not None:
         result.overlap_serial_seconds = acct.serial_seconds
         result.overlap_overlapped_seconds = acct.overlapped_seconds
+    result.link_busy_seconds = comm.link_busy_seconds() - link_busy_before
     return result
 
 

@@ -60,6 +60,19 @@ class _LayerComm:
     def alltoall(self, ranks, nbytes, account="exchange"):
         return self._parent.alltoall(self._shift(ranks), nbytes, account)
 
+    def broadcast_async(
+        self, ranks, nbytes, account="summa_bcast", *, channel, ready_at=0.0
+    ):
+        # Each layer runs its own q₃×q₃ grid, so its broadcast trees are
+        # distinct wires — namespace the channel by the layer offset.
+        return self._parent.broadcast_async(
+            self._shift(ranks), nbytes, account,
+            channel=f"layer{self._offset}:{channel}", ready_at=ready_at,
+        )
+
+    def link_busy_seconds(self):
+        return self._parent.link_busy_seconds()
+
     def barrier(self, ranks=None):
         ranks = list(range(self.size)) if ranks is None else ranks
         return self._parent.barrier(self._shift(ranks))

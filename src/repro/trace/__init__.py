@@ -38,6 +38,7 @@ or from the CLI: ``python -m repro cluster net.mtx --mode optimized
 
 from .export import (
     chrome_trace_events,
+    link_overlap_report,
     merge_report,
     overlap_pairs,
     spans_from_dicts,
@@ -69,6 +70,7 @@ __all__ = [
     "chrome_trace_events",
     "current_tracer",
     "maybe_span",
+    "link_overlap_report",
     "merge_report",
     "overlap_pairs",
     "read_metrics_ndjson",

@@ -199,6 +199,61 @@ def merge_report(tracer: Tracer) -> dict | None:
     }
 
 
+def link_overlap_report(tracer: Tracer) -> dict | None:
+    """Simulated-clock overlap between link traffic and rank-clock work.
+
+    The static pipeline schedule posts its broadcasts on per-row/column
+    **link lanes** (``link:row:i`` / ``link:col:j``) as ``broadcast.async``
+    spans carrying pure simulated intervals.  This report intersects
+    those intervals with the simulated windows of the compute spans on
+    the ordinary lanes:
+
+    * ``compute_overlap_seconds`` — link seconds under ``merge`` /
+      ``finish_merge`` spans (broadcasts hidden behind the stage
+      merges);
+    * ``prune_overlap_seconds`` — link seconds under the per-column
+      ``prune.column`` wrap-up windows (phase p's incremental
+      finalize-and-prune running while phase p+1's broadcasts drain).
+
+    Returns ``None`` when the trace has no link-lane spans (synchronous
+    schedule, or tracing off during the expansions).  All figures derive
+    from simulated coordinates only, so they are identical across every
+    (backend, workers) execution cell.
+    """
+    bcasts = [
+        s for s in tracer.spans
+        if s.name == "broadcast.async"
+        and (s.lane or "").startswith("link:")
+        and s.t0_sim is not None and s.t1_sim is not None
+    ]
+    if not bcasts:
+        return None
+
+    def _overlap(targets: list[Span]) -> float:
+        total = 0.0
+        for b in bcasts:
+            for s in targets:
+                if s.t0_sim is None or s.t1_sim is None:
+                    continue
+                total += max(
+                    0.0, min(b.t1_sim, s.t1_sim) - max(b.t0_sim, s.t0_sim)
+                )
+        return total
+
+    compute = [
+        s for s in tracer.spans
+        if s.cat == "summa" and s.name in ("merge", "finish_merge")
+    ]
+    prune = [s for s in tracer.spans if s.name == "prune.column"]
+    return {
+        "links": len({s.lane for s in bcasts}),
+        "broadcasts": len(bcasts),
+        "bcast_sim_seconds": sum(s.t1_sim - s.t0_sim for s in bcasts),
+        "compute_overlap_seconds": _overlap(compute),
+        "prune_overlap_seconds": _overlap(prune),
+    }
+
+
 def summarize(tracer: Tracer) -> str:
     """Human-readable digest of a trace (the ``tools/run_trace.py`` view)."""
     lines = []
@@ -233,6 +288,20 @@ def summarize(tracer: Tracer) -> str:
         lines.append(
             f"prefetch overlap: {len(pairs)} stage-(k+1) multiply span(s) "
             "overlapping a stage-k merge span"
+        )
+    link = link_overlap_report(tracer)
+    if link is not None:
+        lines.append("")
+        lines.append(
+            f"link lanes: {link['links']} carrying {link['broadcasts']} "
+            f"async broadcast(s), {link['bcast_sim_seconds'] * 1e3:.2f}ms "
+            "simulated on the wires"
+        )
+        lines.append(
+            f"broadcast/compute overlap: "
+            f"{link['compute_overlap_seconds'] * 1e3:.2f}ms under merge "
+            f"spans; prune/broadcast overlap: "
+            f"{link['prune_overlap_seconds'] * 1e3:.2f}ms under prune spans"
         )
     merge = merge_report(tracer)
     if merge is not None:
@@ -274,6 +343,7 @@ __all__ = [
     "write_chrome_trace",
     "write_metrics",
     "overlap_pairs",
+    "link_overlap_report",
     "merge_report",
     "summarize",
     "spans_from_dicts",

@@ -244,6 +244,42 @@ class Tracer:
         with self._lock:
             self.spans.append(span)
 
+    def event_span(
+        self,
+        name: str,
+        cat: str = "repro",
+        *,
+        lane: str | None = None,
+        t0_sim: float,
+        t1_sim: float,
+        **attrs,
+    ) -> Span:
+        """Record a span over an explicit *simulated* interval.
+
+        Unlike :meth:`span`, which brackets wall time around real work and
+        samples ``sim_clock`` itself, this records an interval the caller
+        already scheduled on a simulated resource (e.g. an async broadcast
+        occupying a link).  On the wall clock it is an instant — nothing
+        really ran — so the Chrome export shows it only on the simulated
+        timeline, on ``lane`` (e.g. ``"link:row:2"``).
+        """
+        now = time.perf_counter()
+        span = Span(
+            id=next(self._ids),
+            parent=None,
+            name=name,
+            cat=cat,
+            lane=lane if lane is not None else self._default_lane,
+            t0_wall=now,
+            t1_wall=now,
+            t0_sim=t0_sim,
+            t1_sim=t1_sim,
+            attrs=attrs,
+        )
+        with self._lock:
+            self.spans.append(span)
+        return span
+
     def metric(self, name: str, value, **attrs) -> None:
         """Record one sample on the metrics stream (NDJSON-exportable)."""
         sim = self.sim_clock

@@ -76,6 +76,33 @@ def test_cluster_backend_overlap_flags(tmp_path, capsys):
         assert capsys.readouterr().out == expected
 
 
+def test_cluster_schedule_flag(tmp_path, capsys):
+    # --schedule static changes only simulated time: the clustering on
+    # stdout must match the sync run exactly.
+    net_path = tmp_path / "net.mtx"
+    main(["generate", "planted:100:10", "-o", str(net_path)])
+    capsys.readouterr()
+    base_args = [
+        "cluster", str(net_path), "--mode", "optimized",
+        "--nodes", "4", "--select", "12",
+    ]
+    assert main(base_args) == 0
+    expected = capsys.readouterr().out
+    assert main(base_args + ["--schedule", "static"]) == 0
+    assert capsys.readouterr().out == expected
+    # Modes without the pipelined engine reject the static schedule.
+    assert main(
+        ["cluster", str(net_path), "--mode", "cpu", "--schedule", "static"]
+    ) == 2
+    assert "pipelined engine" in capsys.readouterr().err
+    # And the reference mode rejects the knob like the other pool flags.
+    assert main(
+        ["cluster", str(net_path), "--mode", "reference",
+         "--schedule", "static"]
+    ) == 2
+    assert "distributed --mode" in capsys.readouterr().err
+
+
 def test_cluster_backend_flags_need_distributed_mode(tmp_path, capsys):
     net_path = tmp_path / "net.mtx"
     main(["generate", "planted:100:10", "-o", str(net_path)])

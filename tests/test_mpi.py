@@ -71,10 +71,11 @@ class TestVirtualComm:
     def test_broadcast_synchronizes_group(self):
         comm = VirtualComm(4, SUMMIT_LIKE)
         comm.clocks[0].cpu.schedule(0, 1.0, "head_start")
-        end = comm.broadcast([0, 1, 2, 3], 1000)
+        res = comm.broadcast([0, 1, 2, 3], 1000)
+        assert res.start == 1.0
         for r in range(4):
-            assert comm.clocks[r].cpu.free_at == end
-        assert end > 1.0
+            assert comm.clocks[r].cpu.free_at == res.end
+        assert res.end > 1.0
 
     def test_broadcast_counts_traffic(self):
         comm = VirtualComm(4, SUMMIT_LIKE)

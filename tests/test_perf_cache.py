@@ -255,6 +255,33 @@ def test_schema3_scaling_flattens_with_legacy_aliases():
     assert "scaling/net/process/w2" in rows3
 
 
+def test_pipeline_sweep_flattens_and_validates():
+    # Schema 5: pipeline_sweep cells pair by name; net names contain
+    # dashes, so the cell key parses from the right ({net}-{sched}-w{N}).
+    from repro.bench.perfbench import validate_report
+
+    rep = _report({}, {})
+    rep["schema"] = 5
+    rep["pipeline_sweep"] = {
+        "isom100-3-xs-static-w4": {"seconds": 1.5},
+        "eukarya-xs-sync-w1": {"seconds": 2.0},
+    }
+    assert validate_report(rep) == []
+    rows = {c.name: c for c in compare_reports(rep, rep)}
+    assert "pipeline_sweep/isom100-3-xs-static-w4" in rows
+    assert "pipeline_sweep/eukarya-xs-sync-w1" in rows
+    # A schema-4 baseline without the section still pairs on the rest.
+    old = _report({}, {})
+    old["schema"] = 4
+    assert all(
+        not c.name.startswith("pipeline_sweep")
+        for c in compare_reports(rep, old)
+    )
+    # Malformed rows are enumerated.
+    rep["pipeline_sweep"]["bad-cell-w1"] = {"ms": 3}
+    assert any("bad-cell-w1" in p for p in validate_report(rep))
+
+
 # ---------------------------------------------------------------------------
 # Baseline validation for --check (fails fast, with actionable messages)
 # ---------------------------------------------------------------------------

@@ -2,10 +2,11 @@
 """Run the tier-1 test suite under coverage.py with a committed floor.
 
 The gate watches the execution-backend subsystems — ``src/repro/parallel/``,
-``src/repro/summa/``, ``src/repro/trace/``, ``src/repro/merge/`` and
-``src/repro/service/`` — because those are the layers where an untested
-branch means a silently wrong schedule (or a silently wrong merge, or a
-silently lost job) rather than a loud crash.  The
+``src/repro/summa/``, ``src/repro/trace/``, ``src/repro/merge/``,
+``src/repro/service/`` and ``src/repro/mpi/`` — because those are the
+layers where an untested branch means a silently wrong schedule (or a
+silently wrong merge, a silently lost job, or a silently uncharged
+link) rather than a loud crash.  The
 source list and the ``fail_under`` floor are committed in
 ``pyproject.toml`` under ``[tool.coverage.run]`` / ``[tool.coverage.report]``;
 this script just drives the run:
@@ -85,7 +86,8 @@ def main(argv=None) -> int:
     if report.returncode != 0:
         print(
             "coverage gate: repro.parallel/repro.summa/repro.trace/"
-            "repro.merge/repro.service coverage is below the committed "
+            "repro.merge/repro.service/repro.mpi coverage is below the "
+            "committed "
             "floor (see [tool.coverage.report] in pyproject.toml)",
             file=sys.stderr,
         )

@@ -3,7 +3,7 @@
 
 Record a new baseline (writes BENCH_PR<k>.json at the repo root):
 
-    PYTHONPATH=src python tools/run_perfbench.py --pr 7
+    PYTHONPATH=src python tools/run_perfbench.py --pr 8
 
 Gate a change against the committed baseline (exit 1 on >25 % slowdown):
 
@@ -43,16 +43,16 @@ from repro.bench.perfbench import (  # noqa: E402
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--pr", type=int, default=7,
-        help="PR number k for the BENCH_PR<k>.json output name (default 7)",
+        "--pr", type=int, default=8,
+        help="PR number k for the BENCH_PR<k>.json output name (default 8)",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
         help="explicit output path (overrides --pr)",
     )
     parser.add_argument(
-        "--baseline", type=Path, default=ROOT / "BENCH_PR7.json",
-        help="baseline report to compare against (default BENCH_PR7.json)",
+        "--baseline", type=Path, default=ROOT / "BENCH_PR8.json",
+        help="baseline report to compare against (default BENCH_PR8.json)",
     )
     parser.add_argument(
         "--workers", default=None, metavar="N",
@@ -73,6 +73,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--no-scaling", action="store_true",
         help="skip the worker-scaling sweep (six extra end-to-end runs)",
+    )
+    parser.add_argument(
+        "--no-pipeline", action="store_true",
+        help="skip the broadcast-schedule sweep (eight extra end-to-end "
+        "runs over net x {sync,static} x workers)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -112,6 +117,7 @@ def main(argv=None) -> int:
         scaling=not args.no_scaling,
         backend=args.backend,
         overlap=args.overlap,
+        pipeline=not args.no_pipeline,
     )
 
     out = args.output

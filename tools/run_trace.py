@@ -54,6 +54,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--overlap", action="store_true", default=None)
     parser.add_argument(
+        "--schedule", choices=["sync", "static"], default="sync",
+        help="expansion schedule: 'static' posts async double-buffered "
+        "broadcasts on per-row/column links and overlaps the per-column "
+        "prune with the next phase's broadcasts (changes simulated time)",
+    )
+    parser.add_argument(
         "--merge-impl", choices=["serial", "tree", "hash", "auto"],
         default=None,
         help="SpKAdd engine for the expansion's merges (bit-identical; "
@@ -66,6 +72,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--metrics", metavar="FILE",
         help="write the NDJSON metrics stream here",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=None, metavar="BYTES",
+        help="override the per-process memory budget (bytes); squeezing "
+        "it forces multi-phase expansions, where the static schedule's "
+        "prune/broadcast overlap becomes visible",
     )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
@@ -91,12 +103,14 @@ def main(argv=None) -> int:
         matrix = entry.generate(seed=args.seed).matrix
         options = entry.options()
         budget = {"memory_budget_bytes": entry.memory_budget_bytes}
+    if args.budget is not None:
+        budget = {"memory_budget_bytes": args.budget}
 
     cfg = {
         "optimized": HipMCLConfig.optimized,
         "original": HipMCLConfig.original,
         "cpu": HipMCLConfig.optimized_cpu,
-    }[args.mode](nodes=args.nodes, **budget)
+    }[args.mode](nodes=args.nodes, schedule=args.schedule, **budget)
 
     tracer = Tracer()
     t0 = time.perf_counter()
@@ -115,6 +129,14 @@ def main(argv=None) -> int:
         f"iterations (converged={res.converged}), "
         f"{res.elapsed_seconds:.4f} simulated s, {wall:.2f} wall s"
     )
+    if args.schedule == "static":
+        print(
+            f"static schedule: {res.bcast_overlap_seconds * 1e3:.2f}ms "
+            f"broadcast/compute overlap, "
+            f"{res.prune_bcast_overlap_seconds * 1e3:.2f}ms prune/broadcast "
+            f"overlap, {res.link_busy_seconds * 1e3:.2f}ms link busy "
+            "(simulated)"
+        )
     print()
     print(summarize(tracer))
     if args.trace:
