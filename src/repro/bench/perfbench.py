@@ -10,7 +10,11 @@ regressions in the numeric kernels are caught in review.  It runs
 * a parallel-SpKAdd merge sweep: :func:`repro.merge.spkadd.spkadd_merge`
   timed over list count × nnz skew × worker count,
 * a pipeline sweep: end-to-end runs over network × SUMMA broadcast
-  schedule (sync vs static) × worker count, and
+  schedule (sync vs static) × worker count,
+* a grid sweep: end-to-end runs over network × process grid (2d vs the
+  split-3D charge model) × worker count, the 3d cells also recording the
+  *simulated* per-rank SUMMA broadcast seconds under the hybrid and
+  broadcast-only transports (evidence, not wall-clock — never gated), and
 * a worker-scaling sweep: the densest network end-to-end under each
   pool execution backend (threads and processes) at 1, 2 and 4 workers,
 
@@ -35,6 +39,11 @@ only once a schema-4 baseline is recorded).  Version 5 added the
 ``pipeline_sweep`` section — end-to-end runs over network × SUMMA
 broadcast schedule (sync vs the fully-static pipeline) × worker count —
 gated the same way: older baselines simply never pair with its rows.
+Version 6 added the ``grid``/``layers``/``transport`` report fields and
+the ``grid_sweep`` section — end-to-end runs over network × process
+grid × worker count, whose 3d cells carry the simulated
+``sim_summa_bcast`` figure and the transport-selection counts
+(non-``seconds`` keys, invisible to the wall-clock gate).
 
 Wall-clock on shared machines is noisy: every measurement is the best of
 ``repeats`` runs after one warmup, and the comparison uses a generous
@@ -61,9 +70,9 @@ SCALING_NET = "isom100-3-xs"
 SCALING_WORKERS = (1, 2, 4)
 SCALING_BACKENDS = ("thread", "process")
 
-SCHEMA_VERSION = 5
+SCHEMA_VERSION = 6
 #: Baseline schema versions this harness can still compare against.
-SUPPORTED_SCHEMAS = (2, 3, 4, 5)
+SUPPORTED_SCHEMAS = (2, 3, 4, 5, 6)
 
 #: The pipeline sweep: net × broadcast schedule × worker count.  The
 #: static schedule moves only *simulated* time; these rows pin the
@@ -71,6 +80,16 @@ SUPPORTED_SCHEMAS = (2, 3, 4, 5)
 PIPELINE_SWEEP_NETS = ("eukarya-xs", "isom100-3-xs")
 PIPELINE_SWEEP_SCHEDULES = ("sync", "static")
 PIPELINE_SWEEP_WORKERS = (1, 4)
+
+#: The grid sweep: net × process grid × worker count, on 16 nodes
+#: (q = 4, so the 3d cells run c = 4 layers of 2×2).  Like the
+#: schedule, the grid moves only *simulated* time; the wall rows pin
+#: the cost of driving the charge model, and each net gets one extra
+#: broadcast-only 3d cell so the hybrid transport's simulated win is a
+#: committed, diffable figure.
+GRID_SWEEP_NETS = ("eukarya-xs", "isom100-3-xs")
+GRID_SWEEP_WORKERS = (1, 4)
+GRID_SWEEP_LAYERS = 4
 
 #: The merge micro-sweep: k partial lists × nnz skew × worker count.
 #: "skewed" gives list 0 ten times the density of the rest — the shape
@@ -108,6 +127,9 @@ def bench_end_to_end(
     overlap: bool | str | None = None,
     trace=None,
     schedule: str | None = None,
+    grid: str | None = None,
+    layers: int = 0,
+    transport: str | None = None,
 ) -> dict:
     """Time one full fast-path HipMCL run on a catalog network.
 
@@ -116,6 +138,11 @@ def bench_end_to_end(
     under tracing so the slow stage is visible in the exported timeline.
     Leave it ``None`` for gating measurements (tracing is cheap but the
     perf gate should time exactly what users run).
+
+    ``grid``/``layers``/``transport`` select the process-grid shape; 3d
+    rows additionally report the simulated per-rank SUMMA broadcast
+    seconds (``sim_summa_bcast``) and the transport-selection counts —
+    keys without ``"seconds"``, so the wall-clock gate ignores them.
     """
     from ..mcl.hipmcl import HipMCLConfig, hipmcl
     from ..nets import catalog
@@ -127,6 +154,7 @@ def bench_end_to_end(
     cfg = HipMCLConfig.optimized(
         nodes=16, memory_budget_bytes=entry.memory_budget_bytes,
         schedule=schedule or "sync",
+        grid=grid or "2d", layers=layers, transport=transport or "hybrid",
     )
     result = {}
 
@@ -139,11 +167,15 @@ def bench_end_to_end(
 
     seconds = _best_of(run, repeats)
     res = result["res"]
-    return {
+    out = {
         "seconds": seconds,
         "iterations": len(res.history),
         "clusters": int(res.labels.max()) + 1 if len(res.labels) else 0,
     }
+    if res.grid == "3d":
+        out["sim_summa_bcast"] = res.stage_means.get("summa_bcast", 0.0)
+        out["transport_selections"] = dict(res.transport_selections)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -269,6 +301,7 @@ def run_perfbench(
     backend: str | None = None,
     overlap: bool | str | None = None,
     pipeline: bool = True,
+    grid_sweep: bool = True,
 ) -> dict:
     """Run every benchmark; returns the JSON-serializable report.
 
@@ -278,9 +311,11 @@ def run_perfbench(
     ``scaling=False`` skips the sweep (it costs six extra end-to-end
     runs of :data:`SCALING_NET`); ``pipeline=False`` skips the
     schedule sweep (eight extra end-to-end runs over
-    :data:`PIPELINE_SWEEP_NETS`).
+    :data:`PIPELINE_SWEEP_NETS`); ``grid_sweep=False`` skips the grid
+    sweep (ten extra end-to-end runs over :data:`GRID_SWEEP_NETS`).
     """
     from ..merge.spkadd import resolve_merge_impl
+    from ..mpi.grid import resolve_grid, resolve_layers
     from ..parallel import resolve_backend, resolve_overlap, resolve_workers
     from ..perf import dispatch
 
@@ -291,12 +326,16 @@ def run_perfbench(
         "backend": resolve_backend(backend),
         "overlap": resolve_overlap(overlap),
         "merge_impl": resolve_merge_impl(None),
+        "grid": resolve_grid(None),
+        "layers": resolve_layers(None),
+        "transport": "hybrid",
         "numpy": np.__version__,
         "python": platform.python_version(),
         "end_to_end": {},
         "micro": {},
         "merge_sweep": {},
         "pipeline_sweep": {},
+        "grid_sweep": {},
         "scaling": {},
     }
     for net in nets:
@@ -332,6 +371,34 @@ def run_perfbench(
                     if log:
                         log(f"pipeline {cell}: "
                             f"{report['pipeline_sweep'][cell]['seconds']:.3f}s")
+    if grid_sweep:
+        for net in GRID_SWEEP_NETS:
+            for w in GRID_SWEEP_WORKERS:
+                for g in ("2d", "3d"):
+                    cell = (
+                        f"{net}-2d-w{w}" if g == "2d"
+                        else f"{net}-3d-c{GRID_SWEEP_LAYERS}-w{w}"
+                    )
+                    report["grid_sweep"][cell] = bench_end_to_end(
+                        net, repeats=1, workers=w, backend="thread",
+                        grid=g,
+                        layers=GRID_SWEEP_LAYERS if g == "3d" else 0,
+                    )
+                    if log:
+                        log(f"grid {cell}: "
+                            f"{report['grid_sweep'][cell]['seconds']:.3f}s")
+            # One broadcast-only 3d cell per net: the simulated
+            # sim_summa_bcast delta vs the hybrid w1 cell is the
+            # committed transport-selection evidence.
+            cell = f"{net}-3d-c{GRID_SWEEP_LAYERS}-bcast-w1"
+            report["grid_sweep"][cell] = bench_end_to_end(
+                net, repeats=1, workers=1, backend="thread",
+                grid="3d", layers=GRID_SWEEP_LAYERS,
+                transport="broadcast",
+            )
+            if log:
+                log(f"grid {cell}: "
+                    f"{report['grid_sweep'][cell]['seconds']:.3f}s")
     if scaling:
         per_backend = report["scaling"][SCALING_NET] = {}
         for be in SCALING_BACKENDS:
@@ -381,6 +448,10 @@ def _flatten(report: dict) -> dict:
     for cell, row in report.get("pipeline_sweep", {}).items():
         # Schema 5; same forward-compatibility story as merge_sweep.
         out[f"pipeline_sweep/{cell}"] = float(row["seconds"])
+    for cell, row in report.get("grid_sweep", {}).items():
+        # Schema 6.  Only the wall-clock 'seconds' is gated; the
+        # simulated sim_summa_bcast evidence stays out of the flat view.
+        out[f"grid_sweep/{cell}"] = float(row["seconds"])
     for net, counts in report.get("scaling", {}).items():
         for key, row in counts.items():
             if _is_scaling_row(row):
@@ -415,6 +486,28 @@ def regressions(
     return [
         c for c in compare_reports(current, baseline) if c.regressed(tolerance)
     ]
+
+
+def _parse_grid_cell(cell: str):
+    """``(net, bench_end_to_end kwargs)`` of one grid-sweep cell name,
+    or ``None``.  Net names contain dashes, so match known suffixes."""
+    try:
+        body, wk = cell.rsplit("-w", 1)
+        kwargs = {"workers": int(wk)}
+    except ValueError:
+        return None
+    c = GRID_SWEEP_LAYERS
+    if body.endswith("-2d"):
+        return body[: -len("-2d")], {**kwargs, "grid": "2d"}
+    if body.endswith(f"-3d-c{c}-bcast"):
+        return body[: -len(f"-3d-c{c}-bcast")], {
+            **kwargs, "grid": "3d", "layers": c, "transport": "broadcast",
+        }
+    if body.endswith(f"-3d-c{c}"):
+        return body[: -len(f"-3d-c{c}")], {
+            **kwargs, "grid": "3d", "layers": c,
+        }
+    return None
 
 
 def remeasure_into(
@@ -454,6 +547,15 @@ def remeasure_into(
                 schedule=sched,
             )["seconds"]
             row = report["pipeline_sweep"][parts[1]]
+        elif parts[0] == "grid_sweep" and len(parts) == 2:
+            parsed = _parse_grid_cell(parts[1])
+            if parsed is None:
+                return False
+            net, kwargs = parsed
+            sec = bench_end_to_end(
+                net, repeats=1, backend="thread", **kwargs
+            )["seconds"]
+            row = report["grid_sweep"][parts[1]]
         elif parts[0] == "scaling" and len(parts) == 3:
             # Legacy schema-2 name: the process-backend sweep.
             net, wk = parts[1], parts[2]
@@ -560,9 +662,9 @@ def validate_report(report) -> list[str]:
                 problems.append(
                     f"{section}/{name} lacks a numeric 'seconds' field"
                 )
-    # merge_sweep arrived with schema 4, pipeline_sweep with schema 5;
-    # older reports simply lack them.
-    for section in ("merge_sweep", "pipeline_sweep"):
+    # merge_sweep arrived with schema 4, pipeline_sweep with schema 5,
+    # grid_sweep with schema 6; older reports simply lack them.
+    for section in ("merge_sweep", "pipeline_sweep", "grid_sweep"):
         sweep = report.get(section)
         if sweep is None:
             continue

@@ -120,6 +120,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "for every choice (default: REPRO_MERGE_IMPL or auto)",
     )
     clu.add_argument(
+        "--grid", choices=["2d", "3d"], default=None,
+        help="process-grid shape the simulated clocks are modeled on: "
+        "the √P×√P SUMMA grid (2d) or the split-3D grid with per-layer "
+        "broadcast trees and sparsity-aware hybrid transport (3d); "
+        "clustering results stay bit-identical — only modeled timings "
+        "change (default: REPRO_GRID or 2d)",
+    )
+    clu.add_argument(
+        "--layers", default=None, metavar="C",
+        help="replication factor c of --grid 3d ('auto' or a square "
+        "c = r² with r | √P; default: REPRO_LAYERS or auto)",
+    )
+    clu.add_argument(
         "--schedule", choices=["sync", "static"], default=None,
         help="SUMMA broadcast schedule: blocking collectives (sync) or "
         "the fully-static pipeline (async double-buffered broadcasts on "
@@ -285,6 +298,8 @@ def _cmd_cluster(args) -> int:
             (args.overlap, "--overlap"),
             (args.merge_impl, "--merge-impl"),
             (args.schedule, "--schedule"),
+            (args.grid, "--grid"),
+            (args.layers, "--layers"),
             (args.trace, "--trace"),
             (args.metrics, "--metrics"),
         ):
@@ -312,11 +327,27 @@ def _cmd_cluster(args) -> int:
                 file=sys.stderr,
             )
             return 2
-        cfg = {
-            "optimized": HipMCLConfig.optimized,
-            "original": HipMCLConfig.original,
-            "cpu": HipMCLConfig.optimized_cpu,
-        }[args.mode](nodes=args.nodes, schedule=schedule)
+        from .errors import GridError
+        from .mpi.grid import resolve_grid, resolve_layers
+
+        try:
+            grid_shape = resolve_grid(args.grid)
+            layers = resolve_layers(args.layers) if grid_shape == "3d" else 0
+        except GridError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        try:
+            cfg = {
+                "optimized": HipMCLConfig.optimized,
+                "original": HipMCLConfig.original,
+                "cpu": HipMCLConfig.optimized_cpu,
+            }[args.mode](
+                nodes=args.nodes, schedule=schedule,
+                grid=grid_shape, layers=layers,
+            )
+        except GridError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         faults = None
         if args.fault_seed is not None:
             from .resilience import FaultPlan
@@ -374,6 +405,11 @@ def _cmd_cluster(args) -> int:
             f", {res.elapsed_seconds:.4f} simulated s on {args.nodes} "
             "virtual nodes"
         )
+        if res.grid == "3d":
+            sel = ", ".join(
+                f"{v} {k}" for k, v in sorted(res.transport_selections.items())
+            )
+            extra += f"; 3D grid ({res.layers} layers; {sel or 'no'} transports)"
         if res.faults_injected:
             injected = sum(res.faults_injected.values())
             extra += (

@@ -177,6 +177,10 @@ class MachineSpec:
         hops = math.ceil(math.log2(group))
         return hops * (self.net_alpha_s + nbytes / self.net_bytes_per_s)
 
+    def p2p_time(self, nbytes: int) -> float:
+        """One point-to-point message of ``nbytes`` (rendezvous α-β)."""
+        return self.net_alpha_s + nbytes / self.net_bytes_per_s
+
     def allreduce_time(self, nbytes: int, group: int) -> float:
         """Recursive-doubling allreduce (used by convergence checks)."""
         if group <= 1:

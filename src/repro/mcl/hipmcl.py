@@ -95,6 +95,22 @@ class HipMCLConfig:
     #: the modeled timings by design and therefore enters the checkpoint
     #: fingerprint, unlike the wall-clock workers/backend/overlap knobs.
     schedule: str = "sync"
+    #: Process-grid shape the simulated clocks/traffic are modeled on:
+    #: "2d" (the √P × √P SUMMA grid) or "3d" (the split-3D grid — the
+    #: P ranks reinterpreted as ``layers`` copies of a smaller 2-D grid,
+    #: with per-layer broadcast trees, a 2D→3D redistribution and a
+    #: per-fiber combine charged around every multiply).  Like
+    #: ``schedule`` this is a *simulation-semantics* knob: it changes
+    #: modeled timings by design (and enters the checkpoint
+    #: fingerprint) while the numerics stay bit-identical to 2-D.
+    grid: str = "2d"
+    #: Replication factor ``c`` of the 3D grid; 0 means auto (the
+    #: largest ``c = r²`` with ``r | √P`` and ``r² ≤ √P``).  Must
+    #: satisfy ``P = c · q₃²`` — validated at construction.
+    layers: int = 0
+    #: 3D B-side transport: "hybrid" (per-stage broadcast-vs-p2p pricing
+    #: from the sparsity structure), "broadcast", or "p2p".
+    transport: str = "hybrid"
     #: Recovery behavior (retry ladders, degradation, validators); ``None``
     #: runs without any recovery armed — exactly the pre-resilience
     #: driver.  Passing ``faults=`` to :func:`hipmcl` without a policy
@@ -131,6 +147,28 @@ class HipMCLConfig:
                 f"yield {p} MPI processes, which is not a perfect square "
                 "(HipMCL requires one)"
             )
+        from ..mpi.grid import GRID_CHOICES, grid3d_shape
+
+        if self.grid not in GRID_CHOICES:
+            raise GridError(
+                f"unknown grid {self.grid!r}; options: {list(GRID_CHOICES)}"
+            )
+        if self.transport not in ("hybrid", "broadcast", "p2p"):
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                "options: ['hybrid', 'broadcast', 'p2p']"
+            )
+        if self.layers < 0:
+            raise GridError(f"layers must be >= 0, got {self.layers}")
+        if self.grid == "2d":
+            if self.layers not in (0, 1):
+                raise GridError(
+                    f"layers={self.layers} requires grid='3d' "
+                    "(the 2-D grid has exactly one layer)"
+                )
+        else:
+            # Validates P = c · q₃² (raises GridError otherwise).
+            grid3d_shape(p, self.layers)
 
     @property
     def processes(self) -> int:
@@ -138,6 +176,16 @@ class HipMCLConfig:
         if self.threaded_node:
             return self.nodes
         return self.nodes * self.gpus_per_node
+
+    @property
+    def resolved_layers(self) -> int:
+        """The replication factor ``c`` actually used (1 on the 2-D grid,
+        auto-resolution applied on the 3D one)."""
+        if self.grid == "2d":
+            return 1
+        from ..mpi.grid import grid3d_shape
+
+        return grid3d_shape(self.processes, self.layers)[0]
 
     @property
     def threads_per_process(self) -> int:
@@ -311,6 +359,16 @@ class HipMCLResult:
     prune_bcast_overlap_seconds: float = 0.0
     #: Total seconds the broadcast links carried traffic.
     link_busy_seconds: float = 0.0
+    # -- split-3D grid evidence (inert defaults under grid="2d") ---------
+    #: The grid shape the run's clocks were modeled on ("2d" | "3d").
+    grid: str = "2d"
+    #: Replication factor ``c`` the 3D model resolved (1 under 2-D).
+    layers: int = 1
+    #: Hybrid-transport selections across the run's expansions
+    #: ("broadcast"/"p2p" counts per column-group delivery).
+    transport_selections: dict[str, int] = field(default_factory=dict)
+    #: p2p → broadcast transport demotions the fault ladder performed.
+    transport_demotions: int = 0
 
     def as_mcl_result(self) -> MclResult:
         return MclResult(
@@ -332,7 +390,9 @@ def _grouped_stage_seconds(comm: VirtualComm) -> dict[str, float]:
             out["local_spgemm"] += seconds
         elif account in ("mem_estimation", "est_bcast"):
             out["mem_estimation"] += seconds
-        elif account in ("summa_bcast",):
+        elif account in ("summa_bcast", "summa_p2p"):
+            # The 3D hybrid transport's tailored p2p sends replace
+            # broadcasts, so they fold into the same Fig. 1 bucket.
             out["summa_bcast"] += seconds
         elif account in ("merge",):
             out["merge"] += seconds
@@ -351,6 +411,7 @@ def _charge_estimation(
     scheme: str,
     total_flops: int,
     total_nnz: int,
+    model=None,
 ) -> None:
     """Charge the memory-estimation stage.
 
@@ -358,40 +419,54 @@ def _charge_estimation(
     structure (§VII-E: estimation "involves successive communication and
     computational stages, as it mimics the execution of Sparse SUMMA");
     they differ in payload (pattern vs r keys) and in compute (O(flops) vs
-    O(r · nnz)).
+    O(r · nnz)).  Under a 3D ``model`` the broadcasts ride the same
+    per-layer trees as the expansion's — fewer, fatter trees over smaller
+    groups, exactly like the stage broadcasts they mimic.
     """
     spec = config.spec
     q = grid.q
     threads = config.threads_per_process
     on_gpu = scheme == "probabilistic-gpu"
+
+    def a_payload(i: int, k: int) -> int:
+        if scheme == "symbolic":
+            return dist_a.block_storage_bytes(i, k) // 2  # indices only
+        blk = dist_a.block(i, k)
+        return 8 * config.estimator_keys * blk.ncols // q + 8 * blk.nnz // 8
+
+    def b_payload(k: int, j: int) -> int:
+        if scheme == "symbolic":
+            return dist_a.block_storage_bytes(k, j) // 2
+        blk = dist_a.block(k, j)
+        return 8 * config.estimator_keys * blk.nrows // q + 8 * blk.nnz // 8
+
     for k in range(q):
         # Estimation mimics the full SUMMA communication structure: the
         # A-side pattern/keys travel along rows, the B-side along columns,
         # and each stage's propagated minima are combined — this is why
         # §VII-E finds estimation the most serious scalability bottleneck
         # (the α·lg q terms survive when the per-rank compute shrinks).
-        for i in range(q):
-            nbytes = dist_a.block_storage_bytes(i, k)
-            if scheme == "symbolic":
-                payload = nbytes // 2  # indices only, no values
-            else:
-                blk = dist_a.block(i, k)
-                payload = (
-                    8 * config.estimator_keys * blk.ncols // q
-                    + 8 * blk.nnz // 8
+        if model is not None:
+            lay = model.stage_layer(k)
+            for I in range(model.q3):
+                payload = sum(a_payload(i, k) for i in model.group_rows(I))
+                comm.broadcast(
+                    model.layer_row_ranks(lay, I), payload, "est_bcast"
                 )
-            comm.broadcast(grid.row_members(i), payload, "est_bcast")
-        for j in range(q):
-            nbytes = dist_a.block_storage_bytes(k, j)
-            if scheme == "symbolic":
-                payload = nbytes // 2
-            else:
-                blk = dist_a.block(k, j)
-                payload = (
-                    8 * config.estimator_keys * blk.nrows // q
-                    + 8 * blk.nnz // 8
+            for J in range(model.q3):
+                payload = sum(b_payload(k, j) for j in model.group_cols(J))
+                comm.broadcast(
+                    model.layer_col_ranks(lay, J), payload, "est_bcast"
                 )
-            comm.broadcast(grid.col_members(j), payload, "est_bcast")
+        else:
+            for i in range(q):
+                comm.broadcast(
+                    grid.row_members(i), a_payload(i, k), "est_bcast"
+                )
+            for j in range(q):
+                comm.broadcast(
+                    grid.col_members(j), b_payload(k, j), "est_bcast"
+                )
         if on_gpu:
             # Future-work variant: each stage's key propagation runs on
             # the device, pipelined against the next stage's broadcasts —
@@ -406,18 +481,37 @@ def _charge_estimation(
                 clock.gpu.schedule(
                     clock.cpu.free_at, seconds, "mem_estimation"
                 )
-    for j in range(q):
-        # Combine the propagated minimum keys (symbolic: the per-column
-        # counts) along each processor column — once per estimation pass.
-        c_lo, c_hi = grid.block_bounds(dist_a.global_shape[1], j)
-        width = c_hi - c_lo
-        comm.allreduce(
-            grid.col_members(j),
+    def combine_payload(width: int) -> int:
+        return (
             8 * config.estimator_keys * width
             if scheme != "symbolic"
-            else 8 * width,
-            "est_bcast",
+            else 8 * width
         )
+
+    if model is not None:
+        # Combine along the per-layer column trees plus one fiber
+        # reduction per cell column — the 3D shape of the same exchange.
+        for J in range(model.q3):
+            width = 0
+            for j in model.group_cols(J):
+                c_lo, c_hi = grid.block_bounds(dist_a.global_shape[1], j)
+                width += c_hi - c_lo
+            for lay in range(model.layers):
+                comm.allreduce(
+                    model.layer_col_ranks(lay, J),
+                    combine_payload(width) // model.layers,
+                    "est_bcast",
+                )
+    else:
+        for j in range(q):
+            # Combine the propagated minimum keys (symbolic: the
+            # per-column counts) along each processor column — once per
+            # estimation pass.
+            c_lo, c_hi = grid.block_bounds(dist_a.global_shape[1], j)
+            comm.allreduce(
+                grid.col_members(j), combine_payload(c_hi - c_lo),
+                "est_bcast",
+            )
     per_rank_compute = (
         total_flops / grid.size
         if scheme == "symbolic"
@@ -648,6 +742,20 @@ def _hipmcl_run(
         if policy is None or policy.degrade_merge
         else None
     )
+    # One 3D charge model for the whole run: its transport counters and
+    # the p2p → broadcast demotion rung persist across iterations.
+    grid_model = None
+    if config.grid == "3d":
+        from ..summa.engine3d import Grid3DModel
+
+        grid_model = Grid3DModel(
+            grid.q,
+            config.layers,
+            config.transport,
+            demote_transport=(
+                policy.demote_transport if policy is not None else True
+            ),
+        )
 
     history: list[HipMCLIteration] = []
     converged = False
@@ -662,6 +770,8 @@ def _hipmcl_run(
     phase_split_retries = 0
     kernel_demotions = 0
     merge_demotions = 0
+    transport_selections: dict[str, int] = {}
+    transport_demotions = 0
     bcast_overlap_seconds = 0.0
     prune_bcast_overlap_seconds = 0.0
     checkpoints_written = 0
@@ -699,10 +809,16 @@ def _hipmcl_run(
         phase_split_retries = int(c.get("phase_split_retries", 0))
         kernel_demotions = int(c.get("kernel_demotions", 0))
         merge_demotions = int(c.get("merge_demotions", 0))
+        transport_selections = dict(c.get("transport_selections", {}))
+        transport_demotions = int(c.get("transport_demotions", 0))
         bcast_overlap_seconds = float(c.get("bcast_overlap_seconds", 0.0))
         prune_bcast_overlap_seconds = float(
             c.get("prune_bcast_overlap_seconds", 0.0)
         )
+        if grid_model is not None and transport_demotions:
+            # The demotion rung is run-scoped: a resumed run continues on
+            # the broadcast transport the failure demoted it to.
+            grid_model._demoted = True
     else:
         work = prepare_matrix(matrix, options)
     n = work.nrows
@@ -744,7 +860,7 @@ def _hipmcl_run(
                     # charged by the regular call below).
                     _charge_estimation(
                         comm, grid, dist_a, config, scheme, total_flops,
-                        work.nnz,
+                        work.nnz, model=grid_model,
                     )
                     estimator_fallbacks += 1
                     if tracer is not None:
@@ -755,7 +871,8 @@ def _hipmcl_run(
                     scheme = "symbolic"
                     estimated = float(symbolic_nnz(work, work))
             _charge_estimation(
-                comm, grid, dist_a, config, scheme, total_flops, work.nnz
+                comm, grid, dist_a, config, scheme, total_flops, work.nnz,
+                model=grid_model,
             )
             plan = plan_phases(
                 estimated,
@@ -763,6 +880,9 @@ def _hipmcl_run(
                 config.memory_budget_bytes,
                 safety_factor=(
                     1.0 if scheme == "symbolic" else config.estimator_safety
+                ),
+                replication=(
+                    grid_model.layers if grid_model is not None else 1
                 ),
             )
             est_sp.set(scheme=scheme, estimated=estimated,
@@ -960,12 +1080,18 @@ def _hipmcl_run(
                 overlap_budget_bytes=config.memory_budget_bytes,
                 merge_impl=merge_impl,
                 merge_injector=merge_injector,
+                model=grid_model,
             )
             for k, v in summa_res.kernel_selections.items():
                 kernel_selections[k] = kernel_selections.get(k, 0) + v
             gpu_fallbacks += summa_res.gpu_fallbacks
             kernel_demotions += summa_res.kernel_demotions
             merge_demotions += summa_res.merge_demotions
+            for k, v in summa_res.transport_selections.items():
+                transport_selections[k] = (
+                    transport_selections.get(k, 0) + v
+                )
+            transport_demotions += summa_res.transport_demotions
             bcast_overlap_seconds += summa_res.bcast_overlap_seconds
             prune_bcast_overlap_seconds += (
                 summa_res.prune_bcast_overlap_seconds
@@ -1116,6 +1242,8 @@ def _hipmcl_run(
                         "phase_split_retries": phase_split_retries,
                         "kernel_demotions": kernel_demotions,
                         "merge_demotions": merge_demotions,
+                        "transport_selections": dict(transport_selections),
+                        "transport_demotions": transport_demotions,
                         "bcast_overlap_seconds": bcast_overlap_seconds,
                         "prune_bcast_overlap_seconds": (
                             prune_bcast_overlap_seconds
@@ -1177,6 +1305,10 @@ def _hipmcl_run(
         bcast_overlap_seconds=bcast_overlap_seconds,
         prune_bcast_overlap_seconds=prune_bcast_overlap_seconds,
         link_busy_seconds=comm.link_busy_seconds(),
+        grid=config.grid,
+        layers=grid_model.layers if grid_model is not None else 1,
+        transport_selections=transport_selections,
+        transport_demotions=transport_demotions,
     )
     if strict and not converged:
         err = ConvergenceError(

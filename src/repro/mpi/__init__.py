@@ -7,6 +7,20 @@ measured from the same α-β models throughout.
 """
 
 from .comm import TrafficStats, VirtualComm
-from .grid import ProcessGrid, is_perfect_square
+from .grid import (
+    ProcessGrid,
+    grid3d_shape,
+    is_perfect_square,
+    resolve_grid,
+    resolve_layers,
+)
 
-__all__ = ["ProcessGrid", "is_perfect_square", "VirtualComm", "TrafficStats"]
+__all__ = [
+    "ProcessGrid",
+    "is_perfect_square",
+    "grid3d_shape",
+    "resolve_grid",
+    "resolve_layers",
+    "VirtualComm",
+    "TrafficStats",
+]

@@ -226,6 +226,26 @@ class VirtualComm:
         self.traffic.bytes_exchanged += nbytes_per_pair * n * max(0, n - 1)
         return result
 
+    def p2p(
+        self, src: int, dst: int, nbytes: int, account: str = "summa_p2p"
+    ) -> CollectiveResult:
+        """Charge one point-to-point message ``src → dst``.
+
+        The hybrid transport's alternative to a stage broadcast: instead
+        of pushing the whole slab down a binomial tree, the owner sends
+        each receiver only the column support it needs.  Rendezvous
+        semantics — sender and receiver synchronize for the α-β transfer
+        duration — so successive sends from one root serialize on its
+        injection port, exactly the pessimism the selector prices in.
+        Faults draw from the same "comm" stream as the collectives.
+        """
+        if nbytes < 0:
+            raise CommunicatorError(f"negative payload: {nbytes}")
+        duration = self.spec.p2p_time(nbytes)
+        result = self._collective([src, dst], duration, account)
+        self.traffic.bytes_exchanged += nbytes
+        return result
+
     # -- asynchronous broadcasts (static pipeline schedule) --------------
 
     def link(self, channel: str) -> ResourceTimeline:
@@ -324,6 +344,51 @@ class VirtualComm:
                 "broadcast.async", "comm",
                 lane=f"link:{channel}", t0_sim=start, t1_sim=end,
                 nbytes=nbytes, group=len(ranks),
+            )
+        return handle
+
+    def p2p_chain_async(
+        self,
+        ranks: list[int],
+        payloads: list[int],
+        account: str = "summa_p2p",
+        *,
+        channel: str,
+        ready_at: float = 0.0,
+    ) -> AsyncBroadcast:
+        """Post a serialized chain of point-to-point sends on ``channel``.
+
+        The hybrid transport's async form: the root pushes one tailored
+        payload per receiver through its injection port, so the chain
+        occupies the link for the *sum* of the per-message α-β times
+        (the same total :meth:`p2p` would charge synchronously).  Fault
+        semantics mirror :meth:`broadcast_async`: one draw from the
+        "comm" stream per posted chain, charged to the link.
+        """
+        self._check_group(ranks)
+        for nbytes in payloads:
+            if nbytes < 0:
+                raise CommunicatorError(f"negative payload: {nbytes}")
+        duration = sum(self.spec.p2p_time(b) for b in payloads)
+        link = self.link(channel)
+        if self.injector is not None:
+            self._inject_link(link, ranks, duration)
+        start = max(ready_at, link.free_at)
+        end = link.schedule(start, duration, account)
+        total = sum(payloads)
+        self.traffic.collective_calls += 1
+        self.traffic.bytes_exchanged += total
+        handle = AsyncBroadcast(
+            channel=channel, start=start, end=end, nbytes=total
+        )
+        from ..trace import current_tracer
+
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.event_span(
+                "p2p.async", "comm",
+                lane=f"link:{channel}", t0_sim=start, t1_sim=end,
+                nbytes=total, group=len(ranks),
             )
         return handle
 

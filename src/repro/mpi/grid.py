@@ -4,14 +4,26 @@ HipMCL requires a perfect-square process count (the paper even
 under-utilizes GPUs in §VII-B to honor it); :class:`ProcessGrid` owns the
 rank ↔ (row, col) mapping and the block index ranges of a conformally
 partitioned matrix dimension.
+
+The split-3D grid reuses the same P ranks: a valid 3D shape factors
+``P = c · q₃²`` with ``c = r²``, ``r | q`` and ``q₃ = q / r``, so every
+3D cell is addressable as ``layer · q₃² + I · q₃ + J`` inside the same
+rank space.  :func:`grid3d_shape` validates/chooses the factorization and
+:func:`resolve_grid` / :func:`resolve_layers` implement the
+explicit-beats-``REPRO_GRID``/``REPRO_LAYERS``-beats-default resolution
+the CLI and service workers share.
 """
 
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass
 
 from ..errors import GridError
+
+#: Recognized values of the ``grid`` knob.
+GRID_CHOICES = ("2d", "3d")
 
 
 def is_perfect_square(p: int) -> bool:
@@ -90,3 +102,68 @@ class ProcessGrid:
                 f"index {global_index} unownable: extent {n} < grid {self.q}"
             )
         return extra + (global_index - boundary) // base
+
+
+def resolve_grid(explicit: str | None = None) -> str:
+    """The process-grid choice: explicit > ``REPRO_GRID`` > ``"2d"``."""
+    value = explicit if explicit is not None else os.environ.get("REPRO_GRID")
+    if value is None or value == "":
+        return "2d"
+    value = str(value).strip().lower()
+    if value not in GRID_CHOICES:
+        raise GridError(
+            f"grid must be one of {list(GRID_CHOICES)}, got {value!r}"
+        )
+    return value
+
+
+def resolve_layers(explicit: int | str | None = None) -> int:
+    """The replication factor request: explicit > ``REPRO_LAYERS`` > auto.
+
+    Returns ``0`` for "auto" (pick the largest valid ``c = r²`` with
+    ``r² <= q``); a positive value is validated later against the actual
+    process count by :func:`grid3d_shape`.
+    """
+    value = (
+        explicit if explicit is not None else os.environ.get("REPRO_LAYERS")
+    )
+    if value is None or value == "" or value == "auto":
+        return 0
+    try:
+        layers = int(value)
+    except (TypeError, ValueError):
+        raise GridError(
+            f"layers must be an integer or 'auto', got {value!r}"
+        ) from None
+    if layers < 0:
+        raise GridError(f"layers must be non-negative, got {layers}")
+    return layers
+
+
+def grid3d_shape(processes: int, layers: int = 0) -> tuple[int, int, int]:
+    """Validate/choose the split-3D factorization of ``processes`` ranks.
+
+    Returns ``(c, r, q3)`` with ``c = r²`` layers of ``q3 × q3`` cells,
+    ``r | q`` and ``q3 = q / r``, so ``P = c · q3²`` always holds.
+    ``layers == 0`` means auto: the largest ``r`` dividing ``q`` with
+    ``r² <= q`` (replication never exceeding the layer-grid area).
+    """
+    if not is_perfect_square(processes):
+        raise GridError(
+            f"HipMCL needs a perfect-square process count, got {processes}"
+        )
+    q = math.isqrt(processes)
+    if layers == 0:
+        r = max(
+            d for d in range(1, q + 1) if q % d == 0 and d * d <= q
+        )
+        return r * r, r, q // r
+    r = math.isqrt(layers)
+    if r * r != layers or q % r != 0:
+        raise GridError(
+            f"invalid 3D shape: layers={layers} with P={processes} — a "
+            f"valid shape needs P = c·q3^2 with c = r^2 and r | sqrt(P)="
+            f"{q} (try one of "
+            f"{sorted({d * d for d in range(1, q + 1) if q % d == 0})})"
+        )
+    return layers, r, q // r

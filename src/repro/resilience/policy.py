@@ -74,6 +74,12 @@ class ResiliencePolicy:
         on injected merge-memory overruns.  Like ``degrade_kernels``,
         disarming it also disables the merge-site fault injection — the
         ladder is the only recovery for that site.
+    ``demote_transport``
+        Demote the 3D hybrid transport (point-to-point → broadcast, for
+        the rest of the run) when a point-to-point send suffers an
+        injected comm failure the retry ladder cannot absorb.  Disarming
+        it lets such a failure propagate instead — the retry ladder still
+        handles transient failures, exactly as for collectives.
     ``validate``
         Runtime invariant validators: ``"off"``, ``"warn"`` (emit a
         warning and keep going), or ``"strict"`` (raise
@@ -86,6 +92,7 @@ class ResiliencePolicy:
     max_phase_splits: int = 3
     estimator_fallback: bool = True
     degrade_merge: bool = True
+    demote_transport: bool = True
     validate: str = "off"
 
     def __post_init__(self):

@@ -9,9 +9,14 @@ from .analysis import (
     compare_decompositions,
 )
 from .distmatrix import DistributedCSC
-from .engine3d import Summa3DResult, summa3d_multiply
+from .engine3d import Grid3DModel, Summa3DResult, summa3d_multiply
 from .engine import SummaConfig, SummaResult, summa_multiply
-from .phases import PhasePlan, plan_phases
+from .phases import (
+    PhasePlan,
+    TransportDecision,
+    plan_phases,
+    plan_transport,
+)
 
 __all__ = [
     "DistributedCSC",
@@ -20,11 +25,14 @@ __all__ = [
     "summa_multiply",
     "PhasePlan",
     "plan_phases",
+    "TransportDecision",
+    "plan_transport",
     "CommEstimate",
     "communication_1d",
     "communication_2d",
     "communication_3d",
     "compare_decompositions",
+    "Grid3DModel",
     "Summa3DResult",
     "summa3d_multiply",
 ]

@@ -87,6 +87,22 @@ class DistributedCSC:
         # ir + num (16 B/nnz) + jc + cp (8 B each per non-empty column).
         return 16 * blk.nnz + 16 * nzc + 8
 
+    def block_column_support(self, i: int, j: int) -> np.ndarray:
+        """Boolean mask of the non-empty local columns of block (i, j).
+
+        This is the structure the hybrid transport prices against: at
+        SUMMA stage ``k`` a receiver holding A block ``(i, k)`` only
+        needs the B-slab rows its non-empty A columns touch.  Memoized
+        on the block alongside the DCSC footprint — the same mask is
+        re-read once per stage per phase.
+        """
+        from ..perf.cache import memo
+
+        blk = self.blocks[(i, j)]
+        return memo(
+            blk, "col_support", lambda: blk.column_lengths() > 0
+        )
+
     def to_dcsc_block(self, i: int, j: int) -> DCSCMatrix:
         """The block as it is actually stored (hypersparse-safe)."""
         return DCSCMatrix.from_csc(self.blocks[(i, j)])

@@ -226,6 +226,16 @@ class SummaResult:
     prune_bcast_overlap_seconds: float = 0.0
     #: Seconds this multiply's broadcasts occupied the link clocks.
     link_busy_seconds: float = 0.0
+    # -- split-3D grid model (inert defaults under the 2-D grid) ---------
+    #: Grid the multiply's clock/traffic charges were modeled on.
+    grid: str = "2d"
+    #: Replication factor ``c`` of the 3D charge model (1 under 2-D).
+    layers: int = 1
+    #: Per-column-group transport selections of this multiply
+    #: ("broadcast"/"p2p") — the hybrid-transport evidence.
+    transport_selections: Counter = field(default_factory=Counter)
+    #: p2p → broadcast demotions the fault ladder performed here.
+    transport_demotions: int = 0
 
     @property
     def overlap_saved_seconds(self) -> float:
@@ -348,6 +358,7 @@ def summa_multiply(
     overlap_budget_bytes: int | None = None,
     merge_impl: str | None = None,
     merge_injector=_INHERIT,
+    model=None,
 ) -> SummaResult:
     """Compute ``C = A·B`` on the grid, per the configured algorithm.
 
@@ -404,6 +415,15 @@ def summa_multiply(
     resilience account and demotes the strategy ladder for the rest of the
     run.  Draws happen once per merge event in the serial accounting pass,
     so injections are identical across every execution cell too.
+
+    ``model`` (a :class:`~repro.summa.engine3d.Grid3DModel`, or None for
+    the plain 2-D grid) redirects where the simulated time and traffic
+    land: broadcasts become per-layer tree broadcasts (with the hybrid
+    broadcast-vs-p2p transport selection), kernel and merge charges move
+    to the owning 3D cell's clock, and the 2D→3D redistribution plus the
+    per-fiber combine are charged around the multiply.  The numeric path
+    — block products, merge pushes, pruning — is byte-for-byte the 2-D
+    one, so ``model`` changes simulated clocks only, never results.
     """
     grid = dist_a.grid
     if dist_b.grid.q != grid.q:
@@ -495,6 +515,17 @@ def summa_multiply(
     result.schedule = config.schedule
     result.pipeline_window = pipeline_window
     link_busy_before = comm.link_busy_seconds()
+    sel_before = dem_before = None
+    if model is not None:
+        if model.q != q:
+            raise ValueError(
+                f"grid model built for q={model.q}, matrices on q={q}"
+            )
+        # The model lives across a whole run; record its counters so the
+        # result reports only this multiply's selections and demotions.
+        sel_before = Counter(model.transport_selections)
+        dem_before = model.transport_demotions
+        model.charge_redistribution(comm, dist_a.nnz + dist_b.nnz)
     kept_slabs: dict[tuple[int, int], list[CSCMatrix]] = {
         (i, j): [] for i in range(q) for j in range(q)
     }
@@ -598,37 +629,57 @@ def summa_multiply(
         with maybe_span(
             "broadcast", "summa", phase=pp, stage=k, schedule="static"
         ) as bsp:
-            for i in range(q):
-                nbytes = dist_a.block_storage_bytes(i, k)
-                a_bytes_row[i] = nbytes
-                h = comm.broadcast_async(
-                    grid.row_members(i), nbytes, "summa_bcast",
-                    channel=node.row_channels[i], ready_at=gate,
+            if model is not None:
+                # The 3D model posts the stage's transfers itself on
+                # layer-prefixed channels; the physical per-rank block
+                # residency (input_bytes_peak) is grid-independent.
+                slabs_n: list[CSCMatrix] = []
+                slab_bytes_n: list[int] = []
+                for j in range(q):
+                    slab, nbytes = phase_slab(k, j, pp)
+                    slabs_n.append(slab)
+                    slab_bytes_n.append(nbytes)
+                    b_bytes_col[j] = nbytes
+                for i in range(q):
+                    a_bytes_row[i] = dist_a.block_storage_bytes(i, k)
+                a_handles, b_handles, uniq = model.post_stage_async(
+                    comm, k, pp, dist_a, slabs_n, slab_bytes_n, gate
                 )
-                a_handles.append(h)
-                if config.trace:
-                    result.trace.append(
-                        (grid.rank_of(i, k), pp, k, "bcast_A",
-                         h.start, h.end)
+            else:
+                for i in range(q):
+                    nbytes = dist_a.block_storage_bytes(i, k)
+                    a_bytes_row[i] = nbytes
+                    h = comm.broadcast_async(
+                        grid.row_members(i), nbytes, "summa_bcast",
+                        channel=node.row_channels[i], ready_at=gate,
                     )
-            for j in range(q):
-                nbytes = phase_slab(k, j, pp)[1]
-                b_bytes_col[j] = nbytes
-                h = comm.broadcast_async(
-                    grid.col_members(j), nbytes, "summa_bcast",
-                    channel=node.col_channels[j], ready_at=gate,
-                )
-                b_handles.append(h)
-                if config.trace:
-                    result.trace.append(
-                        (grid.rank_of(k, j), pp, k, "bcast_B",
-                         h.start, h.end)
+                    a_handles.append(h)
+                    if config.trace:
+                        result.trace.append(
+                            (grid.rank_of(i, k), pp, k, "bcast_A",
+                             h.start, h.end)
+                        )
+                for j in range(q):
+                    nbytes = phase_slab(k, j, pp)[1]
+                    b_bytes_col[j] = nbytes
+                    h = comm.broadcast_async(
+                        grid.col_members(j), nbytes, "summa_bcast",
+                        channel=node.col_channels[j], ready_at=gate,
                     )
+                    b_handles.append(h)
+                    if config.trace:
+                        result.trace.append(
+                            (grid.rank_of(k, j), pp, k, "bcast_B",
+                             h.start, h.end)
+                        )
+                uniq = [*a_handles, *b_handles]
             bsp.set(
                 bytes_a=int(a_bytes_row.sum()),
                 bytes_b=int(b_bytes_col.sum()),
             )
-        node_handles[n] = (a_handles, b_handles, a_bytes_row, b_bytes_col)
+        node_handles[n] = (
+            a_handles, b_handles, a_bytes_row, b_bytes_col, uniq
+        )
 
     if static_active:
         issue_node(0)
@@ -707,7 +758,7 @@ def summa_multiply(
                 # ago; this stage just picks up its handles.  The window
                 # [now, consumed] is where their in-flight time overlaps
                 # this stage's compute — the bcast_overlap evidence.
-                a_handles, b_handles, a_bytes_row, b_bytes_col = (
+                a_handles, b_handles, a_bytes_row, b_bytes_col, stage_uniq = (
                     node_handles.pop(node_idx)
                 )
                 stage_window_t0 = max(c.now for c in comm.clocks)
@@ -718,26 +769,39 @@ def summa_multiply(
                 with maybe_span(
                     "broadcast", "summa", phase=p, stage=k
                 ) as bsp:
-                    for i in range(q):
-                        members = grid.row_members(i)
-                        nbytes = dist_a.block_storage_bytes(i, k)
-                        a_bytes_row[i] = nbytes
-                        res = comm.broadcast(members, nbytes, "summa_bcast")
-                        if config.trace:
-                            result.trace.append(
-                                (grid.rank_of(i, k), p, k, "bcast_A",
-                                 res.start, res.end)
+                    if model is not None:
+                        for i in range(q):
+                            a_bytes_row[i] = dist_a.block_storage_bytes(i, k)
+                        for j in range(q):
+                            b_bytes_col[j] = slab_bytes[j]
+                        model.charge_stage_sync(
+                            comm, k, p, dist_a, slabs, slab_bytes
+                        )
+                    else:
+                        for i in range(q):
+                            members = grid.row_members(i)
+                            nbytes = dist_a.block_storage_bytes(i, k)
+                            a_bytes_row[i] = nbytes
+                            res = comm.broadcast(
+                                members, nbytes, "summa_bcast"
                             )
-                    for j in range(q):
-                        nbytes = slab_bytes[j]
-                        b_bytes_col[j] = nbytes
-                        members = grid.col_members(j)
-                        res = comm.broadcast(members, nbytes, "summa_bcast")
-                        if config.trace:
-                            result.trace.append(
-                                (grid.rank_of(k, j), p, k, "bcast_B",
-                                 res.start, res.end)
+                            if config.trace:
+                                result.trace.append(
+                                    (grid.rank_of(i, k), p, k, "bcast_A",
+                                     res.start, res.end)
+                                )
+                        for j in range(q):
+                            nbytes = slab_bytes[j]
+                            b_bytes_col[j] = nbytes
+                            members = grid.col_members(j)
+                            res = comm.broadcast(
+                                members, nbytes, "summa_bcast"
                             )
+                            if config.trace:
+                                result.trace.append(
+                                    (grid.rank_of(k, j), p, k, "bcast_B",
+                                     res.start, res.end)
+                                )
                     bsp.set(
                         bytes_a=int(a_bytes_row.sum()),
                         bytes_b=int(b_bytes_col.sum()),
@@ -775,7 +839,11 @@ def summa_multiply(
                 a_blk = dist_a.block(i, k)
                 a_col_lens = a_blk.column_lengths()
                 for j in range(q):
-                    rank = grid.rank_of(i, j)
+                    rank = (
+                        model.cell_rank(i, j, k)
+                        if model is not None
+                        else grid.rank_of(i, j)
+                    )
                     clock = comm.clocks[rank]
                     b_blk = slabs[j]
                     state = merge_states[(i, j)]
@@ -958,15 +1026,15 @@ def summa_multiply(
                 # drained (empty blocks skip the multiply but the wires
                 # still carried them).  consumed(n) gates issue(n+2).
                 consumed_t = stage_available
-                for h in (*a_handles, *b_handles):
+                for h in stage_uniq:
                     consumed_t = max(consumed_t, h.end)
                 node_consumed[node_idx] = consumed_t
                 window_t1 = max(c.now for c in comm.clocks)
-                live = [(a_handles, b_handles)] + [
-                    (hs[0], hs[1]) for hs in node_handles.values()
+                live = [stage_uniq] + [
+                    hs[4] for hs in node_handles.values()
                 ]
-                for a_hs, b_hs in live:
-                    for h in (*a_hs, *b_hs):
+                for handles in live:
+                    for h in handles:
                         result.bcast_overlap_seconds += _window_overlap(
                             stage_window_t0, window_t1, h
                         )
@@ -981,7 +1049,14 @@ def summa_multiply(
                 )
         # -- phase wrap-up: final merges, callback -----------------------------
         def finish_state(i: int, j: int) -> CSCMatrix:
-            rank = grid.rank_of(i, j)
+            # Final merges run on the block's post-combine owner — under
+            # the 3D model that is the home cell the fiber combine
+            # returned the partials to.
+            rank = (
+                model.home_rank(i, j)
+                if model is not None
+                else grid.rank_of(i, j)
+            )
             clock = comm.clocks[rank]
             state = merge_states[(i, j)]
             outcome, new_events = state.finish()
@@ -1040,6 +1115,18 @@ def summa_multiply(
                 prune_t0 = min(
                     comm.clocks[r].cpu.free_at for r in col_ranks
                 )
+                if model is not None:
+                    # The per-fiber all-to-all combine returns this
+                    # column's c partial slabs to their 2-D owners
+                    # before its final merges and prune.
+                    model.charge_fiber_combine(
+                        comm, j,
+                        sum(
+                            merge_states[(i, j)].schedule.peak_resident
+                            for i in range(q)
+                        ),
+                        config.threads,
+                    )
                 with maybe_span(
                     "finish_merge", "summa", phase=p, column=j
                 ):
@@ -1075,6 +1162,16 @@ def summa_multiply(
             for fn in deferred:
                 phase_blocks.update(fn())
         else:
+            if model is not None:
+                for j in range(q):
+                    model.charge_fiber_combine(
+                        comm, j,
+                        sum(
+                            merge_states[(i, j)].schedule.peak_resident
+                            for i in range(q)
+                        ),
+                        config.threads,
+                    )
             finish_span = maybe_span("finish_merge", "summa", phase=p)
             for (i, j) in merge_states:
                 phase_blocks[(i, j)] = finish_state(i, j)
@@ -1093,6 +1190,13 @@ def summa_multiply(
         result.overlap_serial_seconds = acct.serial_seconds
         result.overlap_overlapped_seconds = acct.overlapped_seconds
     result.link_busy_seconds = comm.link_busy_seconds() - link_busy_before
+    if model is not None:
+        result.grid = "3d"
+        result.layers = model.layers
+        result.transport_selections = (
+            Counter(model.transport_selections) - sel_before
+        )
+        result.transport_demotions = model.transport_demotions - dem_before
     return result
 
 

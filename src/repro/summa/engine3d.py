@@ -19,15 +19,16 @@ engine and the dense product in the tests.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..errors import GridError
 from ..machine.spec import MachineSpec
-from ..merge.lists import BYTES_PER_TRIPLE, TripleList, merge_lists
+from ..merge.lists import BYTES_PER_TRIPLE, TripleList
 from ..mpi.comm import VirtualComm
-from ..mpi.grid import ProcessGrid, is_perfect_square
+from ..mpi.grid import ProcessGrid, grid3d_shape, is_perfect_square
 from ..sparse import CSCMatrix, block_of_csc
 from .distmatrix import DistributedCSC
 from .engine import SummaConfig, SummaResult, summa_multiply
@@ -116,6 +117,8 @@ def summa3d_multiply(
     layers: int,
     *,
     charge_redistribution: bool = True,
+    merge_impl: str | None = None,
+    executor=None,
 ) -> Summa3DResult:
     """Compute ``C = A·B`` with ``layers`` layers on ``comm``'s processes.
 
@@ -123,7 +126,16 @@ def summa3d_multiply(
     ``charge_redistribution`` is set, the one-time 2-D → 3-D data movement
     (each process ships its local share along its fiber) is charged before
     the multiplication — §II's caveat, measurable.
+
+    The per-fiber combine runs through the SpKAdd engine: ``merge_impl``
+    resolves like the 2-D engine's knob (explicit > ``REPRO_MERGE_IMPL``
+    > auto) and ``executor`` fans the partitioned merge out — SpKAdd is
+    pinned bit-identical to ``merge_lists``, so the product is unchanged.
     """
+    from ..merge.spkadd import resolve_merge_impl, spkadd_merge
+    from .phases import plan_merge_strategy
+
+    impl = resolve_merge_impl(merge_impl)
     if a.ncols != b.nrows:
         raise GridError(
             f"inner dimension mismatch: A is {a.shape}, B is {b.shape}"
@@ -176,7 +188,12 @@ def summa3d_multiply(
             1, sum(len(t) for t in lists) // max(1, layers * layers)
         )
         comm.alltoall(fiber, pair_bytes, "fiber_combine")
-        merged = merge_lists(lists)
+        strategy = plan_merge_strategy(
+            impl, sum(len(t) for t in lists), lists[0].shape
+        )
+        merged = spkadd_merge(
+            list(lists), strategy=strategy, executor=executor
+        )
         ops = sum(len(t) for t in lists) * max(
             1.0, np.log2(max(2, layers))
         )
@@ -203,3 +220,362 @@ def summa3d_multiply(
         ),
         fiber_combine_seconds=t_end - t_mult_done,
     )
+
+
+# ---------------------------------------------------------------------------
+# The first-class --grid 3d charge model
+# ---------------------------------------------------------------------------
+
+
+def _partition_runs(n: int, parts: int) -> list[tuple[int, int]]:
+    """Near-even contiguous partition of ``range(n)`` into ``parts`` runs
+    (the same CombBLAS split :meth:`ProcessGrid.block_bounds` uses);
+    empty runs are allowed when ``parts > n``."""
+    base, extra = divmod(n, parts)
+    out, lo = [], 0
+    for p in range(parts):
+        hi = lo + base + (1 if p < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def _slab_row_counts(slab: CSCMatrix) -> np.ndarray:
+    """Per-row nonzero counts of a B phase slab, memoized on the slab —
+    the Cohen-style per-column structure the hybrid transport prices
+    tailored payloads from (re-read once per stage group per phase)."""
+    from ..perf.cache import memo
+
+    return memo(
+        slab,
+        "row_counts",
+        lambda: np.bincount(slab.indices, minlength=slab.shape[0]),
+    )
+
+
+class Grid3DModel:
+    """Clock/traffic charge model of the split-3D grid for the 2-D engine.
+
+    The bit-identity contract of the execution matrix pins every knob to
+    the serial 2-D numerics — but a *genuinely* layered multiplication
+    cannot honor it: the c partial products accumulate in per-layer merge
+    trees whose floating-point grouping differs from the 2-D schedule.
+    So ``--grid 3d`` keeps the 2-D numeric path bit-for-bit (same block
+    decomposition, same stage products, same merge pushes, same prune)
+    and this model redirects *where the simulated time and traffic land*:
+
+    * the P = q² rank clocks are reinterpreted as ``c`` layers of
+      ``q₃ × q₃`` cells (``cell = layer·q₃² + I·q₃ + J``, c = r²,
+      q₃ = q/r), each cell standing for the r × r 2-D blocks it owns;
+    * the q 2-D SUMMA stages partition near-evenly across the c layers
+      (a layer's stages are the inner-dimension slabs it would own), and
+      each stage's A/B broadcasts become q₃ layer-row/-column tree
+      broadcasts of the r-aggregated block bytes — fewer, fatter trees
+      over smaller groups, which is the 3D communication win;
+    * per-(i, j) kernel and merge work lands on the owning cell's clock;
+    * the one-time 2D → 3D redistribution is charged per multiply, and a
+      per-fiber all-to-all combine per output block column returns the c
+      partial slabs to their 2-D owners before pruning — §II's caveat,
+      measurable.
+
+    The model also owns the sparsity-aware **hybrid transport**: per
+    stage, each B column-group's delivery is priced as bulk broadcast vs
+    point-to-point sends of only the row support the receiving cells' A
+    blocks actually touch (:func:`repro.summa.phases.plan_transport`),
+    recorded as a ``transport.select`` metric and counted on the result.
+    An injected comm failure that exhausts the retry ladder on a p2p
+    send demotes the transport to broadcast for the rest of the run (the
+    recovery rung; ``ResiliencePolicy.demote_transport`` disarms it).
+
+    One model instance lives for a whole HipMCL run, so the demotion
+    rung and the selection counters persist across iterations.
+    """
+
+    def __init__(
+        self,
+        q: int,
+        layers: int = 0,
+        transport: str = "hybrid",
+        *,
+        demote_transport: bool = True,
+    ):
+        if transport not in ("hybrid", "broadcast", "p2p"):
+            raise GridError(
+                f"transport must be 'hybrid', 'broadcast' or 'p2p', "
+                f"got {transport!r}"
+            )
+        c, r, q3 = grid3d_shape(q * q, layers)
+        self.q = q
+        self.c = c
+        self.r = r
+        self.q3 = q3
+        self.transport = transport
+        self.demote_transport = demote_transport
+        self.transport_selections: Counter = Counter()
+        self.transport_demotions = 0
+        self._demoted = False
+        runs = _partition_runs(q, c)
+        self._stage_layer = [
+            lay for lay, (lo, hi) in enumerate(runs) for _ in range(hi - lo)
+        ]
+        self._home_layer = list(self._stage_layer)
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def layers(self) -> int:
+        return self.c
+
+    def stage_layer(self, k: int) -> int:
+        """The layer that owns 2-D stage ``k`` (its inner-dim slab)."""
+        return self._stage_layer[k]
+
+    def group_rows(self, I: int) -> range:
+        """The r 2-D block rows aggregated into layer-grid row ``I``."""
+        return range(I * self.r, (I + 1) * self.r)
+
+    def group_cols(self, J: int) -> range:
+        """The r 2-D block columns aggregated into layer-grid col ``J``."""
+        return range(J * self.r, (J + 1) * self.r)
+
+    def cell(self, lay: int, I: int, J: int) -> int:
+        """Rank index of 3D cell (layer, I, J) in the shared rank space."""
+        return lay * self.q3 * self.q3 + I * self.q3 + J
+
+    def cell_rank(self, i: int, j: int, k: int) -> int:
+        """The cell whose clock stage ``k``'s (i, j) work charges to."""
+        return self.cell(self.stage_layer(k), i // self.r, j // self.r)
+
+    def home_rank(self, i: int, j: int) -> int:
+        """The cell that owns output block (i, j) after the fiber combine."""
+        return self.cell(self._home_layer[j], i // self.r, j // self.r)
+
+    def layer_row_ranks(self, lay: int, I: int) -> list[int]:
+        """The layer-row broadcast tree (an A subcommunicator)."""
+        return [self.cell(lay, I, J) for J in range(self.q3)]
+
+    def layer_col_ranks(self, lay: int, J: int) -> list[int]:
+        """The layer-column broadcast tree (a B subcommunicator)."""
+        return [self.cell(lay, I, J) for I in range(self.q3)]
+
+    def fiber_ranks(self, I: int, J: int) -> list[int]:
+        """The c cells holding partials of grid position (I, J)."""
+        return [self.cell(lay, I, J) for lay in range(self.c)]
+
+    # -- transport selection -----------------------------------------------
+
+    def _effective_transport(self) -> str:
+        return "broadcast" if self._demoted else self.transport
+
+    def _receiver_payloads(
+        self, dist_a, slabs, k: int, cols, root_row: int
+    ) -> list[tuple[int, int]]:
+        """(receiver cell-row, tailored payload bytes) per p2p receiver.
+
+        Receiver (I, J) only needs the B-slab rows in the union of the
+        non-empty A columns of its r blocks ``(i, k)`` — the per-column
+        structure the Cohen estimator already walks.
+        """
+        from .phases import P2P_BYTES_PER_NNZ, P2P_HEADER_BYTES
+
+        counts = [_slab_row_counts(slabs[j]) for j in cols]
+        out = []
+        for I in range(self.q3):
+            if I == root_row:
+                continue
+            mask = None
+            for i in self.group_rows(I):
+                support = dist_a.block_column_support(i, k)
+                mask = support if mask is None else (mask | support)
+            need = 0
+            if mask is not None and mask.any():
+                need = sum(int(rc[mask].sum()) for rc in counts)
+            out.append((I, P2P_BYTES_PER_NNZ * need + P2P_HEADER_BYTES))
+        return out
+
+    def _decide(self, spec, k, p, J, group_bytes, receivers):
+        """Run the selector, count the choice, emit the metric."""
+        from ..trace import current_tracer
+        from .phases import plan_transport
+
+        decision = plan_transport(
+            spec,
+            group_bytes,
+            [b for _, b in receivers],
+            self.q3,
+            mode=self._effective_transport(),
+        )
+        self.transport_selections[decision.choice] += 1
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metric(
+                "transport.select",
+                decision.p2p_bytes if decision.choice == "p2p"
+                else decision.bcast_bytes,
+                stage=k, phase=p, group=J,
+                choice=decision.choice,
+                bcast_seconds=decision.bcast_seconds,
+                p2p_seconds=decision.p2p_seconds,
+                demoted=self._demoted,
+            )
+        return decision
+
+    def _demote(self, exc) -> None:
+        """The recovery rung: p2p → broadcast for the rest of the run."""
+        from ..trace import current_tracer
+
+        if not self.demote_transport:
+            raise exc
+        self._demoted = True
+        self.transport_demotions += 1
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.instant(
+                "fault.transport_demotion", "resilience",
+                demotions=self.transport_demotions,
+            )
+
+    # -- per-stage charging -------------------------------------------------
+
+    def charge_stage_sync(
+        self, comm, k: int, p: int, dist_a, slabs, slab_bytes
+    ) -> None:
+        """Synchronous-schedule charges for stage ``k`` of phase ``p``.
+
+        A rides q₃ layer-row trees of r-aggregated block bytes; each B
+        column-group's delivery goes through the transport selector.
+        """
+        from ..resilience.faults import InjectedCommFailure
+
+        lay = self.stage_layer(k)
+        root_row = k // self.r
+        for I in range(self.q3):
+            nbytes = sum(
+                dist_a.block_storage_bytes(i, k) for i in self.group_rows(I)
+            )
+            comm.broadcast(self.layer_row_ranks(lay, I), nbytes,
+                           "summa_bcast")
+        for J in range(self.q3):
+            cols = self.group_cols(J)
+            group_bytes = sum(slab_bytes[j] for j in cols)
+            ranks = self.layer_col_ranks(lay, J)
+            if self._effective_transport() == "broadcast":
+                self.transport_selections["broadcast"] += 1
+                comm.broadcast(ranks, group_bytes, "summa_bcast")
+                continue
+            receivers = self._receiver_payloads(
+                dist_a, slabs, k, cols, root_row
+            )
+            decision = self._decide(
+                comm.spec, k, p, J, group_bytes, receivers
+            )
+            if decision.choice != "p2p":
+                comm.broadcast(ranks, group_bytes, "summa_bcast")
+                continue
+            root = self.cell(lay, root_row, J)
+            try:
+                for I, payload in receivers:
+                    comm.p2p(root, self.cell(lay, I, J), payload,
+                             "summa_p2p")
+            except InjectedCommFailure as exc:
+                self._demote(exc)
+                comm.broadcast(ranks, group_bytes, "summa_bcast")
+
+    def post_stage_async(
+        self, comm, k: int, p: int, dist_a, slabs, slab_bytes, gate: float
+    ):
+        """Static-schedule charges: post the stage's transfers on
+        layer-prefixed link channels without blocking.
+
+        Returns ``(a_handles, b_handles, unique)``: per-block-row and
+        per-block-column completion handles (members of one group share
+        their tree's handle, so the engine's per-(i, j) gating works
+        unchanged) plus the deduplicated handle list for the overlap
+        accounting.
+        """
+        from ..resilience.faults import InjectedCommFailure
+
+        lay = self.stage_layer(k)
+        root_row = k // self.r
+        a_handles = [None] * self.q
+        b_handles = [None] * self.q
+        unique = []
+        for I in range(self.q3):
+            nbytes = sum(
+                dist_a.block_storage_bytes(i, k) for i in self.group_rows(I)
+            )
+            h = comm.broadcast_async(
+                self.layer_row_ranks(lay, I), nbytes, "summa_bcast",
+                channel=f"layer{lay}:row:{I}", ready_at=gate,
+            )
+            for i in self.group_rows(I):
+                a_handles[i] = h
+            unique.append(h)
+        for J in range(self.q3):
+            cols = self.group_cols(J)
+            group_bytes = sum(slab_bytes[j] for j in cols)
+            ranks = self.layer_col_ranks(lay, J)
+            channel = f"layer{lay}:col:{J}"
+            h = None
+            if self._effective_transport() == "broadcast":
+                self.transport_selections["broadcast"] += 1
+            else:
+                receivers = self._receiver_payloads(
+                    dist_a, slabs, k, cols, root_row
+                )
+                decision = self._decide(
+                    comm.spec, k, p, J, group_bytes, receivers
+                )
+                if decision.choice == "p2p":
+                    try:
+                        h = comm.p2p_chain_async(
+                            ranks, [b for _, b in receivers], "summa_p2p",
+                            channel=channel, ready_at=gate,
+                        )
+                    except InjectedCommFailure as exc:
+                        self._demote(exc)
+            if h is None:
+                h = comm.broadcast_async(
+                    ranks, group_bytes, "summa_bcast",
+                    channel=channel, ready_at=gate,
+                )
+            for j in cols:
+                b_handles[j] = h
+            unique.append(h)
+        return a_handles, b_handles, unique
+
+    # -- multiply-scoped charges ---------------------------------------------
+
+    def charge_redistribution(self, comm, total_nnz: int) -> None:
+        """The one-time 2D → 3D movement at the start of a multiply."""
+        if self.c == 1:
+            return
+        share = 16 * max(1, total_nnz // comm.size)
+        for I in range(self.q3):
+            for J in range(self.q3):
+                comm.alltoall(self.fiber_ranks(I, J), share,
+                              "redistribution")
+
+    def charge_fiber_combine(
+        self, comm, j: int, total_nnz: int, threads: int
+    ) -> None:
+        """The per-fiber all-to-all + merge returning block column ``j``'s
+        c partial slabs to their 2-D owners before the prune."""
+        if self.c == 1:
+            return
+        spec = comm.spec
+        J = j // self.r
+        row_share = max(1, total_nnz // max(1, self.q3))
+        pair_bytes = BYTES_PER_TRIPLE * max(
+            1, row_share // (self.c * self.c)
+        )
+        ops = row_share * max(1.0, float(np.log2(max(2, self.c))))
+        merge_s = spec.merge_time(ops / self.c, threads)
+        for I in range(self.q3):
+            fiber = self.fiber_ranks(I, J)
+            comm.alltoall(fiber, pair_bytes, "fiber_combine")
+            for rank in fiber:
+                clock = comm.clocks[rank]
+                clock.cpu.schedule(
+                    clock.cpu.free_at, merge_s, "fiber_combine"
+                )

@@ -47,12 +47,18 @@ def plan_phases(
     *,
     safety_factor: float = 1.0,
     max_phases: int = 64,
+    replication: int = 1,
 ) -> PhasePlan:
     """Choose the phase count for an expansion of ``estimated_nnz`` output
     elements over ``nprocs`` processes with ``budget_bytes`` each.
 
     ``safety_factor > 1`` deflates the budget — the §VII-D compensation
     for possible underestimation by the probabilistic scheme.
+
+    ``replication`` is the split-3D layer count ``c``: before the
+    per-fiber combine, each output element exists as up to ``c`` partial
+    triples across the fiber, so the transient footprint the budget must
+    absorb is ``c``-fold.  The 2D grid passes 1 (no replication).
     """
     if estimated_nnz < 0:
         raise ValueError(f"estimated_nnz must be >= 0: {estimated_nnz}")
@@ -62,7 +68,9 @@ def plan_phases(
         raise ValueError(f"budget_bytes must be positive: {budget_bytes}")
     if safety_factor < 1.0:
         raise ValueError(f"safety_factor must be >= 1: {safety_factor}")
-    per_process = estimated_nnz * BYTES_PER_TRIPLE / nprocs
+    if replication < 1:
+        raise ValueError(f"replication must be >= 1: {replication}")
+    per_process = estimated_nnz * BYTES_PER_TRIPLE * replication / nprocs
     effective = budget_bytes / safety_factor
     phases = max(1, math.ceil(per_process / effective))
     return PhasePlan(
@@ -70,6 +78,80 @@ def plan_phases(
         estimated_nnz=estimated_nnz,
         bytes_per_process=per_process,
         budget_bytes=budget_bytes,
+    )
+
+
+#: Per-message framing bytes of one point-to-point transport payload
+#: (header describing the sent row support).
+P2P_HEADER_BYTES = 8
+
+#: Bytes per sparse element a point-to-point payload carries (value +
+#: row index, the slab rows tailored to the receiver's column support).
+P2P_BYTES_PER_NNZ = 16
+
+
+@dataclass(frozen=True)
+class TransportDecision:
+    """One stage's broadcast-vs-point-to-point pricing (pure data)."""
+
+    choice: str  # "broadcast" | "p2p"
+    bcast_seconds: float
+    p2p_seconds: float
+    bcast_bytes: int
+    p2p_payload_bytes: tuple[int, ...]
+
+    @property
+    def p2p_bytes(self) -> int:
+        return sum(self.p2p_payload_bytes)
+
+    @property
+    def saved_seconds(self) -> float:
+        """Modeled seconds the chosen transport saves over the other."""
+        return abs(self.bcast_seconds - self.p2p_seconds)
+
+
+def plan_transport(
+    spec,
+    group_bytes: int,
+    per_receiver_bytes,
+    group_size: int,
+    *,
+    mode: str = "hybrid",
+) -> TransportDecision:
+    """Price one stage slab's delivery and pick the cheaper transport.
+
+    ``group_bytes`` is the aggregated slab footprint a bulk broadcast
+    would push down the ``group_size``-member binomial tree;
+    ``per_receiver_bytes`` the tailored payloads (only the column support
+    each receiving block actually needs, from the Cohen estimator's
+    per-column structure) a root would instead send point-to-point, one
+    message per receiver, serialized through its injection port.
+
+    ``mode`` forces the answer for ``"broadcast"``/``"p2p"``; ``"hybrid"``
+    compares the α-β prices.  Pure function of its arguments — no comm or
+    clock state enters — so transport accounting is identical across
+    every execution cell of the same simulation config.
+    """
+    payloads = tuple(int(b) for b in per_receiver_bytes)
+    bcast_s = spec.bcast_time(group_bytes, group_size)
+    p2p_s = sum(spec.p2p_time(b) for b in payloads)
+    if mode == "broadcast":
+        choice = "broadcast"
+    elif mode == "p2p":
+        choice = "p2p"
+    elif mode == "hybrid":
+        choice = "p2p" if p2p_s < bcast_s else "broadcast"
+    else:
+        raise ValueError(
+            f"unknown transport mode {mode!r}; "
+            "options: ['hybrid', 'broadcast', 'p2p']"
+        )
+    return TransportDecision(
+        choice=choice,
+        bcast_seconds=bcast_s,
+        p2p_seconds=p2p_s,
+        bcast_bytes=int(group_bytes),
+        p2p_payload_bytes=payloads,
     )
 
 

@@ -9,6 +9,7 @@ budget forces multi-phase expansion on a 4×4 grid (the regime where the
 stage-overlap scheduler actually pipelines).
 """
 
+import dataclasses
 import os
 
 import numpy as np
@@ -199,6 +200,120 @@ def test_checkpoint_resume_with_merge_impl(nets, opts, references,
     assert resumed.resumed_from_iteration > 0
     assert np.array_equal(resumed.labels, ref.labels)
     assert divergence(ref, resumed) == []
+
+
+#: Sampled (backend, overlap) cells for the grid axis — one per backend,
+#: overlap armed where the scheduler genuinely engages.  The full product
+#: is covered by TestBackendMatrix; the 3D model touches nothing the
+#: backend layer sees, so a sample pins the cross-axis contract.
+GRID_CELLS = [("serial", False), ("thread", True), ("process", False)]
+GRID_CELL_IDS = [f"{be}-{'overlap' if ov else 'sync'}" for be, ov in GRID_CELLS]
+
+
+@pytest.fixture(scope="module")
+def nets3d(nets):
+    """The same nets with the run's clocks modeled on the split-3D grid."""
+    return {
+        name: (mat, dataclasses.replace(cfg, grid="3d"))
+        for name, (mat, cfg) in nets.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def references3d(nets3d, opts):
+    """Serial 3D references.  Like ``schedule``, ``grid`` changes the
+    simulated timings by design, so 3D cells compare against a 3D serial
+    reference for full cell identity — and against the 2D reference for
+    the numerics (labels + trajectory), which the grid must not touch."""
+    refs = {}
+    for name, (mat, cfg) in nets3d.items():
+        refs[name] = {
+            "plain": hipmcl(mat, opts, cfg, workers=1),
+            "chaos": hipmcl(
+                mat, opts, cfg, workers=1,
+                faults=FaultPlan.chaos(CHAOS_SEED, intensity=0.3),
+            ),
+        }
+    return refs
+
+
+@pytest.mark.parametrize("net_name", ["small", "phased", "static"])
+@pytest.mark.parametrize(("backend", "overlap"), GRID_CELLS,
+                         ids=GRID_CELL_IDS)
+class TestGridAxisMatrix:
+    """The ``--grid`` axis of the execution matrix: every sampled
+    (grid, backend, workers, overlap, schedule) cell must be bit-identical
+    to the serial 3D reference in every pinned quantity, and bit-identical
+    to the serial *2D* reference in labels and trajectory (the grid is a
+    pure charge model — numerics never change)."""
+
+    def test_fault_free(self, nets3d, opts, references, references3d,
+                        net_name, backend, overlap):
+        mat, cfg = nets3d[net_name]
+        run = hipmcl(
+            mat, opts, cfg, workers=2, backend=backend, overlap=overlap
+        )
+        assert_cell_identical(references3d[net_name]["plain"], run)
+        ref2d = references[net_name]["plain"]
+        assert np.array_equal(run.labels, ref2d.labels)
+        assert divergence(ref2d, run) == []
+        assert run.grid == "3d"
+        assert run.layers >= 1
+
+    def test_chaos(self, nets3d, opts, references, references3d, net_name,
+                   backend, overlap):
+        mat, cfg = nets3d[net_name]
+        run = hipmcl(
+            mat, opts, cfg, workers=2, backend=backend, overlap=overlap,
+            faults=FaultPlan.chaos(CHAOS_SEED, intensity=0.3),
+        )
+        ref = references3d[net_name]["chaos"]
+        assert run.faults_injected == ref.faults_injected
+        assert sum(run.faults_injected.values()) > 0
+        assert run.transport_selections == ref.transport_selections
+        assert run.transport_demotions == ref.transport_demotions
+        assert_cell_identical(ref, run)
+        # Recovery never touches numerics: the chaos run's clustering is
+        # the fault-free 2D one.
+        ref2d = references[net_name]["plain"]
+        assert np.array_equal(run.labels, ref2d.labels)
+        assert divergence(ref2d, run) == []
+
+
+@pytest.mark.parametrize("merge_impl", ["hash", "auto"])
+def test_grid3d_checkpoint_resume(nets3d, opts, references, references3d,
+                                  merge_impl, tmp_path):
+    # grid="3d" enters the config fingerprint, so a 3D checkpoint resumes
+    # a 3D run — to the exact 3D serial trajectory, under any backend and
+    # merge_impl, with the 2D clustering.
+    mat, cfg = nets3d["phased"]
+    ref = references3d["phased"]["plain"]
+    full = hipmcl(
+        mat, opts, cfg, workers=2, backend="thread", overlap=True,
+        merge_impl=merge_impl, checkpoint_dir=tmp_path,
+    )
+    assert full.checkpoints_written > 0
+    assert_cell_identical(ref, full)
+    resumed = hipmcl(
+        mat, opts, cfg, workers=2, backend="thread", overlap=True,
+        merge_impl=merge_impl, resume_from=latest_checkpoint(tmp_path),
+    )
+    assert resumed.resumed_from_iteration > 0
+    assert np.array_equal(resumed.labels, ref.labels)
+    assert divergence(ref, resumed) == []
+    assert np.array_equal(resumed.labels, references["phased"]["plain"].labels)
+
+
+def test_grid3d_checkpoint_not_interchangeable_with_2d(nets, nets3d, opts,
+                                                       tmp_path):
+    # The fingerprint rejects resuming a 2D checkpoint under grid="3d".
+    from repro.errors import CheckpointError
+
+    mat, cfg2 = nets["small"]
+    _, cfg3 = nets3d["small"]
+    hipmcl(mat, opts, cfg2, checkpoint_dir=tmp_path)
+    with pytest.raises(CheckpointError):
+        hipmcl(mat, opts, cfg3, resume_from=latest_checkpoint(tmp_path))
 
 
 class TestOverlapEngaged:

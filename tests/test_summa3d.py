@@ -1,4 +1,7 @@
-"""Tests for the split-3-D engine (§VII-E's future work, implemented)."""
+"""Tests for the split-3-D engine (§VII-E's future work, implemented)
+and its promotion to the driver's first-class ``grid="3d"`` choice."""
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -119,3 +122,58 @@ class TestAccountingClaims:
         res = summa3d_multiply(a, b, comm, SummaConfig(), layers=2)
         assert sum(res.kernel_selections.values()) > 0
         assert len(res.layer_results) == 2
+
+
+class TestHipMCLGrid3D:
+    """The promoted ``grid="3d"`` knob through the full MCL driver."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        from repro.mcl.hipmcl import HipMCLConfig, hipmcl
+        from repro.nets import planted_network
+
+        mat = planted_network(
+            120, intra_degree=10.0, inter_degree=1.5, seed=5
+        ).matrix
+        cfg2d = HipMCLConfig(nodes=16, memory_budget_bytes=64 * 1024)
+        cfg3d = dataclasses.replace(cfg2d, grid="3d")
+        return {
+            "2d": hipmcl(mat, config=cfg2d),
+            "3d": hipmcl(mat, config=cfg3d),
+            "3d-bcast": hipmcl(
+                mat,
+                config=dataclasses.replace(cfg3d, transport="broadcast"),
+            ),
+        }
+
+    def test_labels_and_trajectory_match_2d(self, runs):
+        from repro.resilience import divergence
+
+        r2, r3 = runs["2d"], runs["3d"]
+        assert np.array_equal(r2.labels, r3.labels)
+        assert divergence(r2, r3) == []
+        assert r3.grid == "3d" and r3.layers == 4
+        assert r2.grid == "2d" and r2.layers == 1
+
+    def test_3d_reduces_driver_broadcast_seconds(self, runs):
+        # The engine-level claim above, surviving the full driver: fewer,
+        # smaller-group trees spend less simulated time per rank in the
+        # SUMMA broadcast bucket (p2p sends fold into the same bucket).
+        assert (runs["3d"].stage_means["summa_bcast"]
+                < runs["2d"].stage_means["summa_bcast"])
+
+    def test_hybrid_transport_no_worse_than_broadcast_only(self, runs):
+        hybrid, bcast = runs["3d"], runs["3d-bcast"]
+        assert np.array_equal(hybrid.labels, bcast.labels)
+        assert (hybrid.stage_means["summa_bcast"]
+                <= bcast.stage_means["summa_bcast"])
+        assert hybrid.transport_selections.get("p2p", 0) > 0
+        assert bcast.transport_selections == {
+            "broadcast": sum(hybrid.transport_selections.values())
+        }
+
+    def test_transport_accounting_surfaced(self, runs):
+        r3 = runs["3d"]
+        assert sum(r3.transport_selections.values()) > 0
+        assert r3.transport_demotions == 0
+        assert runs["2d"].transport_selections == {}

@@ -67,6 +67,16 @@ def main(argv=None) -> int:
         "parallel backend's bit-identity under fault recovery",
     )
     parser.add_argument(
+        "--grid", choices=["2d", "3d"], default=None,
+        help="process-grid shape for baseline and faulted runs (default: "
+        "REPRO_GRID or 2d); 3d also sweeps the transport-demotion rung",
+    )
+    parser.add_argument(
+        "--layers", default=None, metavar="C",
+        help="replication factor for --grid 3d ('auto' or a square c=r^2 "
+        "with r | sqrt(nodes); default auto)",
+    )
+    parser.add_argument(
         "--service", action="store_true",
         help="kill/restart mode: run each plan through the clustering "
         "service, killing the runner at seeded iteration boundaries and "
@@ -92,15 +102,29 @@ def main(argv=None) -> int:
         return 2
     net = load_network(args.net)
     opts = options_for(args.net)
-    cfg = HipMCLConfig.optimized(
-        nodes=args.nodes, memory_budget_bytes=entry.memory_budget_bytes
-    )
+    try:
+        from repro.errors import GridError
+        from repro.mpi.grid import resolve_grid, resolve_layers
+
+        grid = resolve_grid(args.grid)
+        layers = resolve_layers(args.layers) if grid == "3d" else 0
+        cfg = HipMCLConfig.optimized(
+            nodes=args.nodes, memory_budget_bytes=entry.memory_budget_bytes,
+            grid=grid, layers=layers,
+        )
+    except GridError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     baseline = hipmcl(net.matrix, opts, cfg)
+    grid_note = (
+        f", 3d grid ({baseline.layers} layers)"
+        if baseline.grid == "3d" else ""
+    )
     print(
         f"baseline {args.net}: {baseline.n_clusters} clusters in "
         f"{baseline.iterations} iterations, "
-        f"{baseline.elapsed_seconds:.4f} simulated s"
+        f"{baseline.elapsed_seconds:.4f} simulated s{grid_note}"
     )
 
     if args.service:
@@ -123,7 +147,8 @@ def main(argv=None) -> int:
             f"({res.comm_retries} retries, {res.straggler_events} "
             f"stragglers, {res.gpu_fallbacks + res.kernel_demotions} "
             f"demotions, {res.estimator_fallbacks} estimator fallbacks, "
-            f"{res.phase_split_retries} phase splits), "
+            f"{res.phase_split_retries} phase splits, "
+            f"{res.transport_demotions} transport demotions), "
             f"x{slowdown:.2f} simulated time ... {status}"
         )
         if diffs:

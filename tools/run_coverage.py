@@ -2,11 +2,14 @@
 """Run the tier-1 test suite under coverage.py with a committed floor.
 
 The gate watches the execution-backend subsystems — ``src/repro/parallel/``,
-``src/repro/summa/``, ``src/repro/trace/``, ``src/repro/merge/``,
+``src/repro/summa/`` (including ``repro.summa.engine3d``, the split-3D
+charge model behind ``--grid 3d`` and its hybrid transport selector),
+``src/repro/trace/``, ``src/repro/merge/``,
 ``src/repro/service/`` and ``src/repro/mpi/`` — because those are the
 layers where an untested branch means a silently wrong schedule (or a
-silently wrong merge, a silently lost job, or a silently uncharged
-link) rather than a loud crash.  The
+silently wrong merge, a silently lost job, a silently uncharged
+link, or a transport decision charged to the wrong clocks) rather
+than a loud crash.  The
 source list and the ``fail_under`` floor are committed in
 ``pyproject.toml`` under ``[tool.coverage.run]`` / ``[tool.coverage.report]``;
 this script just drives the run:

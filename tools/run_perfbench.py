@@ -3,7 +3,7 @@
 
 Record a new baseline (writes BENCH_PR<k>.json at the repo root):
 
-    PYTHONPATH=src python tools/run_perfbench.py --pr 8
+    PYTHONPATH=src python tools/run_perfbench.py --pr 9
 
 Gate a change against the committed baseline (exit 1 on >25 % slowdown):
 
@@ -43,8 +43,8 @@ from repro.bench.perfbench import (  # noqa: E402
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--pr", type=int, default=8,
-        help="PR number k for the BENCH_PR<k>.json output name (default 8)",
+        "--pr", type=int, default=9,
+        help="PR number k for the BENCH_PR<k>.json output name (default 9)",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
@@ -78,6 +78,11 @@ def main(argv=None) -> int:
         "--no-pipeline", action="store_true",
         help="skip the broadcast-schedule sweep (eight extra end-to-end "
         "runs over net x {sync,static} x workers)",
+    )
+    parser.add_argument(
+        "--no-grid", action="store_true",
+        help="skip the process-grid sweep (ten extra end-to-end runs "
+        "over net x {2d,3d} x workers plus broadcast-only 3d cells)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -118,6 +123,7 @@ def main(argv=None) -> int:
         backend=args.backend,
         overlap=args.overlap,
         pipeline=not args.no_pipeline,
+        grid_sweep=not args.no_grid,
     )
 
     out = args.output
