@@ -17,6 +17,13 @@ regressions in the numeric kernels are caught in review.  It runs
   broadcast-only transports (evidence, not wall-clock — never gated), and
 * a worker-scaling sweep: the densest network end-to-end under each
   pool execution backend (threads and processes) at 1, 2 and 4 workers,
+* a locality sweep: end-to-end runs over network × reordering strategy
+  (none/degree/community) × worker count, including a zero-inter-degree
+  "islands" network where the community ordering tightens the SPA
+  windows the most, and
+* a delta-rerun pair: a localized edge delta on the islands network,
+  timed cold (full rerun on the patched graph) and warm
+  (:func:`repro.locality.run_warm_start` from the base labels),
 
 and emits a JSON report comparable against a committed baseline
 (``BENCH_PR<k>.json`` at the repo root).  ``tools/run_perfbench.py`` is
@@ -43,7 +50,11 @@ Version 6 added the ``grid``/``layers``/``transport`` report fields and
 the ``grid_sweep`` section — end-to-end runs over network × process
 grid × worker count, whose 3d cells carry the simulated
 ``sim_summa_bcast`` figure and the transport-selection counts
-(non-``seconds`` keys, invisible to the wall-clock gate).
+(non-``seconds`` keys, invisible to the wall-clock gate).  Version 7
+added the ``locality_sweep`` and ``delta_rerun`` sections — the
+reordering-strategy sweep and the warm-vs-cold incremental
+re-clustering pair; the warm row's ``speedup``/``dirty_fraction``
+figures are evidence keys the gate ignores.
 
 Wall-clock on shared machines is noisy: every measurement is the best of
 ``repeats`` runs after one warmup, and the comparison uses a generous
@@ -70,9 +81,9 @@ SCALING_NET = "isom100-3-xs"
 SCALING_WORKERS = (1, 2, 4)
 SCALING_BACKENDS = ("thread", "process")
 
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 #: Baseline schema versions this harness can still compare against.
-SUPPORTED_SCHEMAS = (2, 3, 4, 5, 6)
+SUPPORTED_SCHEMAS = (2, 3, 4, 5, 6, 7)
 
 #: The pipeline sweep: net × broadcast schedule × worker count.  The
 #: static schedule moves only *simulated* time; these rows pin the
@@ -98,6 +109,24 @@ MERGE_SWEEP_K = (4, 16)
 MERGE_SWEEP_SKEWS = ("uniform", "skewed")
 MERGE_SWEEP_WORKERS = (1, 4)
 MERGE_SWEEP_SHAPE = (3000, 3000)
+
+#: The locality sweep: net × reordering strategy × worker count.  The
+#: islands net (zero inter-cluster degree) is the regime the community
+#: ordering is built for: its SPA windows shrink to cluster size, so the
+#: windowed scan replaces the full-nrows dump.
+LOCALITY_SWEEP_NETS = ("eukarya-xs", "islands-xs")
+LOCALITY_SWEEP_STRATEGIES = ("none", "degree", "community")
+LOCALITY_SWEEP_WORKERS = (1, 4)
+
+#: The synthetic islands network backing ``islands-xs`` cells and the
+#: delta-rerun pair: pure planted clusters, no inter-cluster edges, so
+#: components are the clusters and a localized delta dirties one.
+ISLANDS_NET = dict(n=1600, intra_degree=30.0, inter_degree=0.0, seed=11)
+
+#: The delta-rerun pair: a localized delta of this many edges, cold
+#: (patched-graph rerun) vs warm (component-restricted warm start).
+DELTA_RERUN_EDGES = 12
+DELTA_RERUN_SEED = 5
 
 #: Fractional slowdown vs the baseline that counts as a regression.
 DEFAULT_TOLERANCE = 0.25
@@ -288,6 +317,83 @@ def bench_micro(name: str, repeats: int = 5) -> dict:
 
 
 # ---------------------------------------------------------------------------
+# Locality engine — reordering sweep and the warm-start pair
+# ---------------------------------------------------------------------------
+
+
+def _locality_net(net_name: str):
+    """``(matrix, options, config)`` of one locality-sweep network."""
+    from ..mcl.hipmcl import HipMCLConfig
+    from ..mcl.options import MclOptions
+    from ..nets import catalog, planted_network
+    from .harness import load_network, options_for
+
+    if net_name == "islands-xs":
+        net = planted_network(**ISLANDS_NET)
+        opts = MclOptions(
+            inflation=2.0, prune_threshold=1e-4, select_number=50
+        )
+        return net.matrix, opts, HipMCLConfig.optimized(nodes=16)
+    entry = catalog.entry(net_name)
+    net = load_network(net_name)
+    cfg = HipMCLConfig.optimized(
+        nodes=16, memory_budget_bytes=entry.memory_budget_bytes
+    )
+    return net.matrix, options_for(net_name), cfg
+
+
+def bench_locality_cell(
+    net_name: str, strategy: str, workers: int, repeats: int = 1
+) -> dict:
+    """Time one end-to-end run under a locality reordering strategy."""
+    from ..mcl.hipmcl import hipmcl
+
+    matrix, opts, cfg = _locality_net(net_name)
+    reorder = None if strategy == "none" else strategy
+
+    def run():
+        hipmcl(
+            matrix, opts, cfg,
+            workers=workers, backend="thread", reorder=reorder,
+        )
+
+    return {"seconds": _best_of(run, repeats)}
+
+
+def bench_delta_rerun(repeats: int = 1) -> dict:
+    """Cold-vs-warm incremental re-clustering on the islands network.
+
+    Returns the two gated rows plus evidence keys on the warm row: the
+    measured ``speedup`` and the ``dirty_fraction`` of vertices the warm
+    start actually re-clustered.
+    """
+    from ..locality import (
+        WarmStart, dirty_vertices, localized_delta, run_warm_start,
+    )
+    from ..mcl.hipmcl import hipmcl
+
+    matrix, opts, cfg = _locality_net("islands-xs")
+    base = hipmcl(matrix, opts, cfg)  # untimed: the converged base run
+    delta = localized_delta(matrix, DELTA_RERUN_EDGES, DELTA_RERUN_SEED)
+    patched = delta.apply(matrix)
+    warm = WarmStart(np.asarray(base.labels, dtype=np.int64), delta)
+
+    cold = _best_of(lambda: hipmcl(patched, opts, cfg), repeats)
+    warm_s = _best_of(
+        lambda: run_warm_start(matrix, warm, opts, cfg), repeats
+    )
+    dirty = len(dirty_vertices(patched, delta))
+    return {
+        "cold": {"seconds": cold},
+        "warm": {
+            "seconds": warm_s,
+            "speedup": cold / warm_s if warm_s > 0 else float("inf"),
+            "dirty_fraction": dirty / max(1, matrix.ncols),
+        },
+    }
+
+
+# ---------------------------------------------------------------------------
 # Report
 # ---------------------------------------------------------------------------
 
@@ -302,6 +408,7 @@ def run_perfbench(
     overlap: bool | str | None = None,
     pipeline: bool = True,
     grid_sweep: bool = True,
+    locality: bool = True,
 ) -> dict:
     """Run every benchmark; returns the JSON-serializable report.
 
@@ -312,7 +419,9 @@ def run_perfbench(
     runs of :data:`SCALING_NET`); ``pipeline=False`` skips the
     schedule sweep (eight extra end-to-end runs over
     :data:`PIPELINE_SWEEP_NETS`); ``grid_sweep=False`` skips the grid
-    sweep (ten extra end-to-end runs over :data:`GRID_SWEEP_NETS`).
+    sweep (ten extra end-to-end runs over :data:`GRID_SWEEP_NETS`);
+    ``locality=False`` skips the locality sweep and the delta-rerun
+    pair (twelve sweep cells plus three islands-net runs).
     """
     from ..merge.spkadd import resolve_merge_impl
     from ..mpi.grid import resolve_grid, resolve_layers
@@ -336,6 +445,8 @@ def run_perfbench(
         "merge_sweep": {},
         "pipeline_sweep": {},
         "grid_sweep": {},
+        "locality_sweep": {},
+        "delta_rerun": {},
         "scaling": {},
     }
     for net in nets:
@@ -399,6 +510,24 @@ def run_perfbench(
             if log:
                 log(f"grid {cell}: "
                     f"{report['grid_sweep'][cell]['seconds']:.3f}s")
+    if locality:
+        for net in LOCALITY_SWEEP_NETS:
+            for strat in LOCALITY_SWEEP_STRATEGIES:
+                for w in LOCALITY_SWEEP_WORKERS:
+                    cell = f"{net}-{strat}-w{w}"
+                    report["locality_sweep"][cell] = bench_locality_cell(
+                        net, strat, w, repeats=1
+                    )
+                    if log:
+                        log(f"locality {cell}: "
+                            f"{report['locality_sweep'][cell]['seconds']:.3f}s")
+        report["delta_rerun"] = bench_delta_rerun(repeats=1)
+        if log:
+            rows = report["delta_rerun"]
+            log(f"delta-rerun: cold {rows['cold']['seconds']:.3f}s, "
+                f"warm {rows['warm']['seconds']:.3f}s "
+                f"({rows['warm']['speedup']:.1f}x, "
+                f"{rows['warm']['dirty_fraction']:.1%} dirty)")
     if scaling:
         per_backend = report["scaling"][SCALING_NET] = {}
         for be in SCALING_BACKENDS:
@@ -435,44 +564,94 @@ def _is_scaling_row(row) -> bool:
     return isinstance(row, dict) and "seconds" in row
 
 
-def _flatten(report: dict) -> dict:
+#: Sections the flattener understands; anything else dict-valued in a
+#: report is assumed to come from a newer schema and is skipped (with a
+#: warning when the caller provides one) instead of crashing the gate.
+FLAT_SECTIONS = (
+    "end_to_end",
+    "micro",
+    "merge_sweep",
+    "pipeline_sweep",
+    "grid_sweep",
+    "locality_sweep",
+    "delta_rerun",
+    "scaling",
+)
+
+
+def _seconds(report: dict, name: str, row) -> float:
+    """``row["seconds"]`` as a float, or a :class:`BaselineError` that
+    names the report's schema instead of a bare ``KeyError``."""
+    try:
+        return float(row["seconds"])
+    except (KeyError, TypeError, ValueError):
+        schema = report.get("schema") if isinstance(report, dict) else None
+        raise BaselineError(
+            f"{name} has no numeric 'seconds' field in this "
+            f"schema-{schema!r} report — {RERECORD_HINT}"
+        ) from None
+
+
+def _flatten(report: dict, warn=None) -> dict:
     out = {}
     for net, row in report.get("end_to_end", {}).items():
-        out[f"end_to_end/{net}"] = float(row["seconds"])
+        out[f"end_to_end/{net}"] = _seconds(report, f"end_to_end/{net}", row)
     for name, row in report.get("micro", {}).items():
-        out[f"micro/{name}"] = float(row["seconds"])
-    for cell, row in report.get("merge_sweep", {}).items():
-        # Schema 4.  Absent from older reports, so a schema-3 baseline
-        # pairing simply never sees these names.
-        out[f"merge_sweep/{cell}"] = float(row["seconds"])
-    for cell, row in report.get("pipeline_sweep", {}).items():
-        # Schema 5; same forward-compatibility story as merge_sweep.
-        out[f"pipeline_sweep/{cell}"] = float(row["seconds"])
-    for cell, row in report.get("grid_sweep", {}).items():
-        # Schema 6.  Only the wall-clock 'seconds' is gated; the
-        # simulated sim_summa_bcast evidence stays out of the flat view.
-        out[f"grid_sweep/{cell}"] = float(row["seconds"])
+        out[f"micro/{name}"] = _seconds(report, f"micro/{name}", row)
+    # merge_sweep arrived with schema 4, pipeline_sweep with 5,
+    # grid_sweep with 6, locality_sweep/delta_rerun with 7.  Absent from
+    # older reports, so an old-baseline pairing simply never sees these
+    # names.  Only the wall-clock 'seconds' is gated; evidence keys
+    # (sim_summa_bcast, speedup, dirty_fraction) stay out of the flat
+    # view.
+    for section in (
+        "merge_sweep", "pipeline_sweep", "grid_sweep",
+        "locality_sweep", "delta_rerun",
+    ):
+        for cell, row in report.get(section, {}).items():
+            out[f"{section}/{cell}"] = _seconds(
+                report, f"{section}/{cell}", row
+            )
     for net, counts in report.get("scaling", {}).items():
         for key, row in counts.items():
             if _is_scaling_row(row):
                 # Schema 2: process-only sweep, scaling/{net}/w{N}.
-                out[f"scaling/{net}/{key}"] = float(row["seconds"])
+                out[f"scaling/{net}/{key}"] = _seconds(
+                    report, f"scaling/{net}/{key}", row
+                )
             else:
                 # Schema 3: per-backend sweep.  The process rows also get
                 # the schema-2 legacy names so a version-2 baseline still
                 # pairs with a version-3 report (and vice versa).
                 for wk, leaf in row.items():
-                    sec = float(leaf["seconds"])
+                    sec = _seconds(
+                        report, f"scaling/{net}/{key}/{wk}", leaf
+                    )
                     out[f"scaling/{net}/{key}/{wk}"] = sec
                     if key == "process":
                         out.setdefault(f"scaling/{net}/{wk}", sec)
+    if warn is not None:
+        for section, rows in report.items():
+            if isinstance(rows, dict) and section not in FLAT_SECTIONS:
+                warn(
+                    f"ignoring unknown section {section!r} "
+                    f"(schema {report.get('schema')!r}; this harness "
+                    f"writes schema {SCHEMA_VERSION})"
+                )
     return out
 
 
-def compare_reports(current: dict, baseline: dict) -> list[Comparison]:
-    """Pair up benchmarks present in both reports (baseline order)."""
-    cur = _flatten(current)
-    base = _flatten(baseline)
+def compare_reports(
+    current: dict, baseline: dict, warn=None
+) -> list[Comparison]:
+    """Pair up benchmarks present in both reports (baseline order).
+
+    ``warn`` (a callable taking one message) hears about sections either
+    report carries that this harness does not understand — a newer
+    baseline against an older harness skips them instead of crashing.
+    """
+    cur = _flatten(current, warn=warn)
+    base = _flatten(baseline, warn=warn)
     return [
         Comparison(name, base[name], cur[name])
         for name in base
@@ -481,10 +660,12 @@ def compare_reports(current: dict, baseline: dict) -> list[Comparison]:
 
 
 def regressions(
-    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+    current: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE,
+    warn=None,
 ) -> list[Comparison]:
     return [
-        c for c in compare_reports(current, baseline) if c.regressed(tolerance)
+        c for c in compare_reports(current, baseline, warn=warn)
+        if c.regressed(tolerance)
     ]
 
 
@@ -556,6 +737,23 @@ def remeasure_into(
                 net, repeats=1, backend="thread", **kwargs
             )["seconds"]
             row = report["grid_sweep"][parts[1]]
+        elif parts[0] == "locality_sweep" and len(parts) == 2:
+            # Net names contain dashes; strategy and worker count don't.
+            net, strat, wk = parts[1].rsplit("-", 2)
+            sec = bench_locality_cell(
+                net, strat, int(wk[1:]), repeats=1
+            )["seconds"]
+            row = report["locality_sweep"][parts[1]]
+        elif parts[0] == "delta_rerun" and len(parts) == 2:
+            # The pair is one measurement: re-run both, keep the min of
+            # each so the speedup evidence stays self-consistent.
+            fresh = bench_delta_rerun(repeats=1)
+            for kind in ("cold", "warm"):
+                rerow = report["delta_rerun"][kind]
+                rerow["seconds"] = min(
+                    float(rerow["seconds"]), float(fresh[kind]["seconds"])
+                )
+            return True
         elif parts[0] == "scaling" and len(parts) == 3:
             # Legacy schema-2 name: the process-backend sweep.
             net, wk = parts[1], parts[2]
@@ -663,8 +861,12 @@ def validate_report(report) -> list[str]:
                     f"{section}/{name} lacks a numeric 'seconds' field"
                 )
     # merge_sweep arrived with schema 4, pipeline_sweep with schema 5,
-    # grid_sweep with schema 6; older reports simply lack them.
-    for section in ("merge_sweep", "pipeline_sweep", "grid_sweep"):
+    # grid_sweep with schema 6, locality_sweep/delta_rerun with schema
+    # 7; older reports simply lack them.
+    for section in (
+        "merge_sweep", "pipeline_sweep", "grid_sweep",
+        "locality_sweep", "delta_rerun",
+    ):
         sweep = report.get(section)
         if sweep is None:
             continue

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the HipMCL user's workflow:
+Seven subcommands cover the HipMCL user's workflow:
 
 ``generate``
     Write a catalog network (or a custom planted network) to a
@@ -8,6 +8,10 @@ Six subcommands cover the HipMCL user's workflow:
 ``cluster``
     Cluster a MatrixMarket network with the sequential reference MCL or a
     simulated distributed HipMCL run, writing mcl-style cluster lines.
+``recluster``
+    Apply an edge delta to an already-clustered network and re-cluster
+    incrementally, warm-starting from the base run's labels (see
+    ``docs/locality.md``).
 ``experiment``
     Regenerate one of the paper's tables/figures and print it.
 ``submit`` / ``serve`` / ``jobs``
@@ -151,6 +155,54 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write the traced run's metrics stream as NDJSON "
         "(implies tracing; distributed modes only)",
     )
+    clu.add_argument(
+        "--reorder", choices=["none", "degree", "rcm", "community"],
+        default=None,
+        help="locality layout strategy fed to the kernels (the matrix is "
+        "never physically permuted, so results are bit-identical; "
+        "distributed modes only; default: REPRO_REORDER or none)",
+    )
+
+    rec = sub.add_parser(
+        "recluster",
+        help="re-cluster a network incrementally after an edge delta",
+    )
+    rec.add_argument(
+        "input",
+        help="base network: MatrixMarket (.mtx) or label-pair (.abc) file",
+    )
+    rec.add_argument(
+        "delta",
+        help="edge-delta file: lines of 'add i j [w]' / 'remove i j' "
+        "('#' comments allowed)",
+    )
+    rec.add_argument("-o", "--output", help="cluster file (default stdout)")
+    rec.add_argument("--inflation", type=float, default=2.0)
+    rec.add_argument("--threshold", type=float, default=1e-4)
+    rec.add_argument("--select", type=int, default=1000, metavar="K")
+    rec.add_argument("--recover", type=int, default=0, metavar="R")
+    rec.add_argument("--max-iterations", type=int, default=100)
+    rec.add_argument(
+        "--mode", choices=["optimized", "original", "cpu"],
+        default="optimized",
+    )
+    rec.add_argument("--nodes", type=int, default=16)
+    rec.add_argument(
+        "--base-labels", metavar="FILE",
+        help="npy file of the base run's labels; when omitted the base "
+        "graph is clustered cold first (and the speedup is reported)",
+    )
+    rec.add_argument(
+        "--save-base-labels", metavar="FILE",
+        help="write the base run's labels as npy for future reclusters",
+    )
+    rec.add_argument("--workers", metavar="N",
+                     help="pool workers (see cluster --workers)")
+    rec.add_argument("--backend", choices=["serial", "thread", "process"])
+    rec.add_argument(
+        "--reorder", choices=["none", "degree", "rcm", "community"],
+        default=None, help="locality layout strategy (see cluster)",
+    )
 
     exp = sub.add_parser(
         "experiment", help="regenerate a table/figure of the paper"
@@ -191,6 +243,18 @@ def _build_parser() -> argparse.ArgumentParser:
     smt.add_argument(
         "--no-cache", action="store_true",
         help="do not serve this submission from the result cache",
+    )
+    smt.add_argument(
+        "--reorder", choices=["none", "degree", "rcm", "community"],
+        default=None,
+        help="locality layout strategy for the job's run (wall-clock "
+        "knob: excluded from the cache key)",
+    )
+    smt.add_argument(
+        "--delta", metavar="FILE",
+        help="edge-delta file ('add i j [w]' / 'remove i j' lines) "
+        "making this an incremental job against the base graph; the "
+        "worker warm-starts from the base job's cached labels",
     )
 
     srv = sub.add_parser(
@@ -302,6 +366,7 @@ def _cmd_cluster(args) -> int:
             (args.layers, "--layers"),
             (args.trace, "--trace"),
             (args.metrics, "--metrics"),
+            (args.reorder, "--reorder"),
         ):
             if flag is not None:
                 print(
@@ -379,6 +444,7 @@ def _cmd_cluster(args) -> int:
                 backend=args.backend,
                 overlap=args.overlap,
                 merge_impl=args.merge_impl,
+                reorder=args.reorder,
                 trace=tracer,
             )
         except ConvergenceError as exc:
@@ -452,6 +518,105 @@ def _cmd_cluster(args) -> int:
     return 0
 
 
+def _cmd_recluster(args) -> int:
+    from .errors import ConvergenceError, LocalityError
+    from .locality import GraphDelta, WarmStart, read_delta_file
+    from .mcl import MclOptions
+    from .mcl.components import clusters_from_labels
+    from .mcl.hipmcl import HipMCLConfig, hipmcl
+    from .sparse import read_abc, read_matrix_market
+
+    labels_dict = None
+    if str(args.input).endswith(".abc"):
+        matrix, labels_dict = read_abc(args.input, symmetrize=True)
+    else:
+        matrix = read_matrix_market(args.input)
+    options = MclOptions(
+        inflation=args.inflation,
+        prune_threshold=args.threshold,
+        select_number=args.select,
+        recover_number=args.recover,
+        max_iterations=args.max_iterations,
+    )
+    cfg = {
+        "optimized": HipMCLConfig.optimized,
+        "original": HipMCLConfig.original,
+        "cpu": HipMCLConfig.optimized_cpu,
+    }[args.mode](nodes=args.nodes)
+    try:
+        add, remove = read_delta_file(args.delta)
+        delta = GraphDelta.from_edges(matrix.ncols, add, remove)
+    except (LocalityError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    run_kwargs = dict(
+        workers=args.workers, backend=args.backend, reorder=args.reorder,
+    )
+    try:
+        if args.base_labels:
+            base_labels = np.load(args.base_labels)
+            if len(base_labels) != matrix.ncols:
+                print(
+                    f"error: {args.base_labels} holds {len(base_labels)} "
+                    f"labels, the network has {matrix.ncols} vertices",
+                    file=sys.stderr,
+                )
+                return 2
+            cold_seconds = None
+        else:
+            t0 = time.perf_counter()
+            base = hipmcl(matrix, options, cfg, **run_kwargs)
+            cold_seconds = time.perf_counter() - t0
+            base_labels = np.asarray(base.labels)
+            print(
+                f"base run: {base.n_clusters} clusters in "
+                f"{base.iterations} iterations ({cold_seconds:.2f}s wall)",
+                file=sys.stderr,
+            )
+            if args.save_base_labels:
+                np.save(args.save_base_labels, base_labels)
+                print(
+                    f"wrote {args.save_base_labels}", file=sys.stderr
+                )
+        t0 = time.perf_counter()
+        res = hipmcl(
+            matrix, options, cfg,
+            warm_start=WarmStart(
+                np.asarray(base_labels, dtype=np.int64), delta
+            ),
+            **run_kwargs,
+        )
+        warm_seconds = time.perf_counter() - t0
+    except (ConvergenceError, LocalityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    speed = ""
+    if cold_seconds is not None and warm_seconds > 0:
+        speed = f", {cold_seconds / warm_seconds:.1f}x vs cold base run"
+    print(
+        f"recluster (+{delta.num_edges} delta edges): {res.n_clusters} "
+        f"clusters in {res.iterations} iterations "
+        f"({warm_seconds:.2f}s wall{speed})",
+        file=sys.stderr,
+    )
+
+    def render(v: int) -> str:
+        return labels_dict[v] if labels_dict is not None else str(v)
+
+    lines = [
+        "\t".join(render(v) for v in cluster)
+        for cluster in clusters_from_labels(np.asarray(res.labels))
+    ]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="ascii") as fh:
+            fh.write(text)
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from .bench.harness import ALL_EXPERIMENTS
 
@@ -472,7 +637,7 @@ def _cmd_experiment(args) -> int:
 
 
 def _cmd_submit(args) -> int:
-    from .errors import ServiceError
+    from .errors import LocalityError, ServiceError
     from .service import ClusterService, JobSpec
 
     options = {
@@ -485,6 +650,19 @@ def _cmd_submit(args) -> int:
     config = {}
     if args.memory_budget is not None:
         config["memory_budget_bytes"] = args.memory_budget
+    delta = None
+    if args.delta:
+        from .locality import read_delta_file
+
+        try:
+            add, remove = read_delta_file(args.delta)
+        except (LocalityError, OSError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        delta = {
+            "add": [[int(i), int(j), float(w)] for i, j, w in add],
+            "remove": [[int(i), int(j)] for i, j in remove],
+        }
     service = ClusterService(args.dir)
     try:
         spec = JobSpec(
@@ -493,6 +671,8 @@ def _cmd_submit(args) -> int:
             nodes=args.nodes,
             options=options,
             config=config,
+            reorder=args.reorder,
+            delta=delta,
         )
         jid = service.submit(
             spec,
@@ -613,6 +793,7 @@ def main(argv=None) -> int:
     handler = {
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
+        "recluster": _cmd_recluster,
         "experiment": _cmd_experiment,
         "submit": _cmd_submit,
         "serve": _cmd_serve,

@@ -68,6 +68,12 @@ class ServiceError(ReproError, RuntimeError):
     lease, a malformed job spec, or a corrupt service directory)."""
 
 
+class LocalityError(ReproError, ValueError):
+    """Misuse of the locality engine (unknown reordering strategy, a
+    permutation whose size does not match the matrix, or a graph delta
+    that references vertices outside the graph)."""
+
+
 class InjectedFault:
     """Mixin marking an exception as raised by the fault injector.
 

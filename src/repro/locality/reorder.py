@@ -1,0 +1,412 @@
+"""Reordering pass: plan a vertex permutation that improves locality.
+
+The locality engine never changes *what* is computed — only *where* the
+operands live.  A :class:`Reordering` is a bijection between vertex ids
+and layout positions; the driver plans one at load time and arms it as
+the active layout (:mod:`repro.locality.layout`) so the hash kernel's
+dense SPA scratch and the slab partitioner can exploit it.  Floating
+point addition is not associative, so the kernels consume the permutation
+without ever changing per-row accumulation order or per-column output
+order — reordered runs are bit-identical to unreordered runs by
+construction (the property suite certifies this across the full
+backend/grid matrix).
+
+Strategies
+----------
+``none``
+    The identity — planning is skipped entirely.
+``degree``
+    Stable sort by column degree, densest first.  Hub columns (the flop
+    monsters) become contiguous, which tightens the flop-balanced slab
+    cuts and groups the hot SPA rows.
+``rcm``
+    Reverse Cuthill–McKee breadth-first ordering of the symmetrized
+    pattern: the classic bandwidth-minimizing permutation.  Best when the
+    graph is mesh-like (long paths, small separators).
+``community``
+    Seeds from a cheap first-iteration component sketch: every vertex
+    points at its strongest neighbour, the resulting forest's connected
+    components approximate the clusters one MCL iteration would reveal,
+    and vertices are laid out community-by-community (largest first).
+    This is the MCL-native choice — the operand *is* a clustering graph,
+    so its communities are exactly the row sets a column's flops touch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from ..errors import LocalityError
+from ..sparse import CSCMatrix
+
+STRATEGIES = ("none", "degree", "rcm", "community")
+
+#: Memoized plans ride on the matrix *identity* via a weak-key registry
+#: (not ``mat._memo``: ``invalidate_caches`` must be able to drop plans
+#: without the locality package imported, so the registry lives here and
+#: the matrix calls :func:`forget_reordering` lazily).
+_PLANS: "weakref.WeakKeyDictionary[CSCMatrix, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+@dataclass(frozen=True)
+class Reordering:
+    """A planned vertex permutation.
+
+    ``order[p]`` is the vertex placed at layout position ``p``;
+    ``position[v]`` is the layout position of vertex ``v`` (the inverse
+    permutation).  ``strategy`` records how the plan was produced.
+    """
+
+    strategy: str
+    order: np.ndarray
+    position: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return len(self.order)
+
+    @property
+    def is_identity(self) -> bool:
+        return bool(np.array_equal(self.order, np.arange(self.n)))
+
+    @cached_property
+    def token(self) -> str:
+        """Digest of the permutation — memo key for layout-derived data."""
+        return hashlib.sha256(
+            np.ascontiguousarray(self.order, dtype=np.int64).tobytes()
+        ).hexdigest()[:16]
+
+    @classmethod
+    def identity(cls, n: int) -> "Reordering":
+        order = np.arange(n, dtype=np.int64)
+        return cls("none", order, order.copy())
+
+    @classmethod
+    def from_permutation(cls, order, *, strategy: str = "custom") -> "Reordering":
+        """Wrap an explicit permutation (``order[p]`` = vertex at slot p)."""
+        order = np.asarray(order, dtype=np.int64)
+        n = len(order)
+        position = np.full(n, -1, dtype=np.int64)
+        if n:
+            if order.min() < 0 or order.max() >= n:
+                raise LocalityError(
+                    f"permutation entries out of range [0, {n})"
+                )
+            position[order] = np.arange(n, dtype=np.int64)
+            if (position < 0).any():
+                raise LocalityError("order is not a permutation (repeats)")
+        return cls(strategy, order, position)
+
+    # -- physical permutation (utilities, not the driver path) ------------
+
+    def apply(self, mat: CSCMatrix) -> CSCMatrix:
+        """Physically permute a square matrix: ``B = P·A·Pᵀ``.
+
+        **Not** what :func:`repro.mcl.hipmcl.hipmcl` does with a plan —
+        a physical permutation changes floating-point summation order
+        (column sums and SPA dumps run over the *permuted* row order), so
+        results are only mathematically, not bitwise, equal.  The driver
+        instead keeps the matrix in place and feeds the permutation to
+        the kernels as a layout.  ``apply``/``restore_labels`` exist for
+        tests and for interoperating with externally permuted inputs.
+        """
+        self._check(mat)
+        from ..sparse import csc_from_triples
+        from ..sparse import _compressed as _c
+
+        cols = _c.expand_major(mat.indptr, mat.ncols)
+        return csc_from_triples(
+            mat.shape,
+            self.position[mat.indices],
+            self.position[cols],
+            mat.data,
+            sum_dup=False,
+        )
+
+    def restore_labels(self, labels: np.ndarray) -> np.ndarray:
+        """Map labels of an :meth:`apply`-permuted run back to vertex ids.
+
+        ``restored[v] = labels[position[v]]`` — followed by canonical
+        relabeling so cluster ids are again numbered by smallest member.
+        """
+        from ..mcl.components import canonical_labels
+
+        labels = np.asarray(labels)
+        if len(labels) != self.n:
+            raise LocalityError(
+                f"label vector has length {len(labels)}, expected {self.n}"
+            )
+        return canonical_labels(labels[self.position])
+
+    # -- locality metrics --------------------------------------------------
+
+    def stats(self, mat: CSCMatrix) -> dict:
+        """Bandwidth/profile of ``mat`` under this layout vs the identity.
+
+        ``bandwidth`` is the mean layout distance ``|position[i] -
+        position[j]|`` over stored off-diagonal entries (how far a
+        column's rows scatter through the SPA scratch); ``profile`` is
+        the sum of per-column spans (the envelope the windowed SPA
+        actually walks).  Both are reported next to their identity-layout
+        twins so a trace proves the reduction, not just the value.
+        """
+        self._check(mat)
+        return {
+            "strategy": self.strategy,
+            "bandwidth": _bandwidth(mat, self.position),
+            "profile": _profile(mat, self.position),
+            "identity_bandwidth": _bandwidth(mat, None),
+            "identity_profile": _profile(mat, None),
+        }
+
+    def _check(self, mat: CSCMatrix) -> None:
+        if mat.nrows != mat.ncols:
+            raise LocalityError(
+                f"reordering needs a square matrix, got {mat.shape}"
+            )
+        if mat.ncols != self.n:
+            raise LocalityError(
+                f"plan covers {self.n} vertices, matrix has {mat.ncols}"
+            )
+
+
+def _bandwidth(mat: CSCMatrix, position) -> float:
+    """Mean |pos(row) - pos(col)| over stored off-diagonal entries."""
+    from ..sparse import _compressed as _c
+
+    cols = _c.expand_major(mat.indptr, mat.ncols)
+    rows = mat.indices
+    off = rows != cols
+    if not off.any():
+        return 0.0
+    r, c = rows[off], cols[off]
+    if position is not None:
+        r, c = position[r], position[c]
+    return float(np.abs(r - c).mean())
+
+
+def _profile(mat: CSCMatrix, position) -> int:
+    """Sum over columns of the row-position span (the SPA window sizes)."""
+    rows = mat.indices if position is None else position[mat.indices]
+    lens = mat.column_lengths()
+    nonempty = np.flatnonzero(lens)
+    if not len(nonempty):
+        return 0
+    starts = mat.indptr[nonempty]
+    lo = np.minimum.reduceat(rows, starts)
+    hi = np.maximum.reduceat(rows, starts)
+    return int((hi - lo + 1).sum())
+
+
+# -- planning ---------------------------------------------------------------
+
+
+def plan_reordering(mat: CSCMatrix, strategy: str = "community") -> Reordering:
+    """Plan a :class:`Reordering` of ``mat`` under the named strategy.
+
+    Plans are memoized per (matrix identity, strategy); a mutated matrix
+    drops its plans through ``CSCMatrix.invalidate_caches()``.
+    """
+    if strategy not in STRATEGIES:
+        raise LocalityError(
+            f"unknown reordering strategy {strategy!r}; options: "
+            f"{list(STRATEGIES)}"
+        )
+    if mat.nrows != mat.ncols:
+        raise LocalityError(
+            f"reordering needs a square matrix, got {mat.shape}"
+        )
+    if strategy == "none":
+        return Reordering.identity(mat.ncols)
+    store = _PLANS.get(mat)
+    if store is None:
+        store = {}
+        _PLANS[mat] = store
+    plan = store.get(strategy)
+    if plan is None:
+        order = _PLANNERS[strategy](mat)
+        plan = Reordering.from_permutation(order, strategy=strategy)
+        store[strategy] = plan
+    return plan
+
+
+def forget_reordering(mat: CSCMatrix) -> None:
+    """Drop memoized plans for ``mat`` (invalidate_caches hook)."""
+    _PLANS.pop(mat, None)
+
+
+def _plan_degree(mat: CSCMatrix) -> np.ndarray:
+    """Densest columns first; ties stay in vertex order (stable sort)."""
+    return np.argsort(-mat.column_lengths(), kind="stable")
+
+
+def _plan_rcm(mat: CSCMatrix) -> np.ndarray:
+    """Reverse Cuthill–McKee over the symmetrized pattern.
+
+    BFS from a minimum-degree seed per component, visiting neighbours in
+    increasing-degree order, then reverse the whole traversal.
+    """
+    from ..sparse import symmetrize_max
+
+    sym = mat if _pattern_symmetric(mat) else symmetrize_max(mat)
+    n = sym.ncols
+    degree = sym.column_lengths()
+    visited = np.zeros(n, dtype=bool)
+    order = np.empty(n, dtype=np.int64)
+    out = 0
+    for seed in np.argsort(degree, kind="stable"):
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue = deque([int(seed)])
+        while queue:
+            v = queue.popleft()
+            order[out] = v
+            out += 1
+            nbrs, _ = sym.column(v)
+            nbrs = nbrs[~visited[nbrs]]
+            if len(nbrs):
+                visited[nbrs] = True
+                for u in nbrs[np.argsort(degree[nbrs], kind="stable")]:
+                    queue.append(int(u))
+    return order[::-1].copy()
+
+
+#: Strongest-edge coarsening rounds of the community sketch.  Round one
+#: is the classic strongest-neighbour forest (each vertex attaches to
+#: its heaviest edge — what the first MCL iteration's flow concentrates
+#: on); later rounds merge the forest's fragments along their heaviest
+#: aggregate edge, which reassembles clusters the forest split without
+#: ever crossing a weak inter-cluster tie before the strong intra ones
+#: are exhausted.
+COMMUNITY_ROUNDS = 3
+
+
+def _plan_community(mat: CSCMatrix) -> np.ndarray:
+    """Community sketch: iterated strongest-edge coarsening → blocks.
+
+    The layout places each community contiguously, largest community
+    first, vertices inside a community in ascending id order.  Fully
+    deterministic: ties break toward the smaller community id.
+    """
+    n = mat.ncols
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    from ..mcl.components import canonical_labels
+    from ..sparse import _compressed as _c
+
+    base = mat.sum_duplicates()
+    rows = base.indices
+    cols = _c.expand_major(base.indptr, n)
+    vals = np.abs(base.data)
+    labels = np.arange(n, dtype=np.int64)
+    for _ in range(COMMUNITY_ROUNDS):
+        merged = _coarsen_strongest(labels, rows, cols, vals)
+        if merged is None:
+            break
+        labels = merged
+    counts = np.bincount(labels, minlength=int(labels.max()) + 1)
+    # Largest community first; equal sizes keep canonical label order.
+    rank = np.argsort(-counts, kind="stable")
+    slot = np.empty(len(counts), dtype=np.int64)
+    slot[rank] = np.arange(len(counts))
+    return np.argsort(slot[labels], kind="stable")
+
+
+def _coarsen_strongest(labels, rows, cols, vals):
+    """One coarsening round: merge each community into its strongest
+    neighbour (by aggregate inter-community weight).  Returns the new
+    canonical labels, or ``None`` once no inter-community edge remains.
+    """
+    from ..mcl.components import canonical_labels, connected_components
+    from ..sparse import csc_from_triples
+
+    cr, cc = labels[rows], labels[cols]
+    off = cr != cc
+    if not off.any():
+        return None
+    k = int(labels.max()) + 1
+    keys = cc[off] * np.int64(k) + cr[off]
+    uniq, inv = np.unique(keys, return_inverse=True)
+    weight = np.bincount(inv, weights=vals[off])
+    src = uniq // k
+    dst = uniq % k
+    # Per source community: heaviest aggregate edge, ties toward the
+    # smaller destination id.
+    order = np.lexsort((dst, -weight, src))
+    first = np.unique(src[order], return_index=True)[1]
+    pick = order[first]
+    merge = csc_from_triples(
+        (k, k),
+        dst[pick],
+        src[pick],
+        np.ones(len(pick), dtype=np.float64),
+        sum_dup=True,
+    )
+    coarse = connected_components(merge)
+    return canonical_labels(coarse[labels])
+
+
+def _pattern_symmetric(mat: CSCMatrix) -> bool:
+    t = mat.transpose().sum_duplicates()
+    m = mat.sum_duplicates()
+    return bool(
+        np.array_equal(m.indptr, t.indptr)
+        and np.array_equal(m.indices, t.indices)
+    )
+
+
+_PLANNERS = {
+    "degree": _plan_degree,
+    "rcm": _plan_rcm,
+    "community": _plan_community,
+}
+
+
+# -- resolution (mirrors repro.parallel's knob discipline) ------------------
+
+
+def resolve_reorder(reorder=None) -> str:
+    """Resolve the reordering strategy: explicit > ``REPRO_REORDER`` > none.
+
+    Like the other wall-clock knobs (workers/backend/overlap), the
+    strategy never enters the config fingerprint: it changes layout and
+    wall-clock only, never labels or simulated seconds.
+    """
+    if reorder is None:
+        reorder = os.environ.get("REPRO_REORDER", "").strip() or "none"
+    reorder = str(reorder).lower()
+    if reorder not in STRATEGIES:
+        raise LocalityError(
+            f"unknown reordering strategy {reorder!r}; options: "
+            f"{list(STRATEGIES)}"
+        )
+    return reorder
+
+
+def as_reordering(mat: CSCMatrix, reorder) -> Reordering | None:
+    """Normalize a driver-level ``reorder=`` argument against ``mat``.
+
+    Accepts ``None`` (consult ``REPRO_REORDER``), a strategy name, or a
+    pre-planned :class:`Reordering`.  Returns ``None`` when the resolved
+    layout is the identity — the kernels then skip all layout work.
+    """
+    if isinstance(reorder, Reordering):
+        if reorder.n != mat.ncols:
+            raise LocalityError(
+                f"plan covers {reorder.n} vertices, matrix has {mat.ncols}"
+            )
+        return None if reorder.strategy == "none" else reorder
+    strategy = resolve_reorder(reorder)
+    if strategy == "none":
+        return None
+    return plan_reordering(mat, strategy)

@@ -19,6 +19,10 @@ from ..sparse import CSCMatrix, hstack_csc
 #: shared-memory transport cost (~1 ms/batch), not the kernel.
 PARALLEL_MIN_FLOPS = 1 << 21
 
+#: Flop-equivalent fixed cost charged per column when the locality layout
+#: asks for flop-balanced slab cuts (≈ two dict-threshold columns).
+PER_COLUMN_OVERHEAD_FLOPS = 256
+
 
 def local_multiply(a: CSCMatrix, b: CSCMatrix):
     """One SUMMA-stage local product: ``(A_ik · B_kj, per-column flops)``.
@@ -75,9 +79,34 @@ def parallel_spgemm_columns(
     Output columns of an SpGEMM are independent, and both kernel families
     accumulate strictly within a column, so stitching the slab products
     back together in slab order is bit-identical to the one-shot call.
+
+    When a locality layout is armed the cuts move to flop-balanced
+    positions (degree/community orderings concentrate hub columns, which
+    would serialize one worker under near-even cuts); the ranges stay
+    contiguous and stitch in the same order, so only the per-worker wall
+    clock changes.
     """
     w = executor.workers
-    bounds = _slab_bounds(b.ncols, w)
+    from ..locality.layout import active_layout
+
+    if active_layout() is not None:
+        from ..locality.layout import balanced_slab_bounds
+
+        per_entry = a.column_lengths()[b.indices]
+        per_col = np.zeros(b.ncols, dtype=np.int64)
+        lens = b.column_lengths()
+        nonempty = np.flatnonzero(lens)
+        if len(nonempty):
+            per_col[nonempty] = np.add.reduceat(
+                per_entry, b.indptr[nonempty]
+            )
+        # The constant models the per-column fixed cost (slice loop, dict
+        # setup) so a slab of many skinny columns is not mistaken for
+        # free; without it the balancer starves one worker on hub-heavy
+        # orderings and overloads it on uniform ones.
+        bounds = balanced_slab_bounds(per_col + PER_COLUMN_OVERHEAD_FLOPS, w)
+    else:
+        bounds = _slab_bounds(b.ncols, w)
     slabs = [
         (kind, a, b.column_slab(lo, hi)) for lo, hi in bounds if hi > lo
     ]

@@ -49,12 +49,20 @@ def graph_fingerprint(matrix) -> str:
     return h.hexdigest()
 
 
-def job_cache_key(matrix, config, options) -> str:
-    """The result-cache key: graph content x run configuration."""
-    blob = (
-        graph_fingerprint(matrix) + "\x00" + config_fingerprint(config, options)
-    ).encode()
-    return hashlib.sha256(blob).hexdigest()
+def job_cache_key(matrix, config, options, delta=None) -> str:
+    """The result-cache key: graph content x run configuration.
+
+    Delta jobs key on ``(base graph fingerprint, delta fingerprint,
+    config fingerprint)`` — the base graph's own key is recoverable by
+    dropping the delta component, which is how the runner finds the
+    converged base labels to warm-start from, and a resubmitted delta
+    against the same base hits the cache without re-clustering.
+    """
+    parts = [graph_fingerprint(matrix)]
+    if delta is not None:
+        parts.append(delta.fingerprint())
+    parts.append(config_fingerprint(config, options))
+    return hashlib.sha256("\x00".join(parts).encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -78,6 +86,15 @@ class JobSpec:
     backend: str | None = None
     overlap: bool | None = None
     merge_impl: str | None = None
+    #: Locality layout strategy — a wall-clock knob like the above.
+    reorder: str | None = None
+    #: Optional edge delta (``{"add": [[i, j, w], ...], "remove":
+    #: [[i, j], ...]}``) making this an incremental re-clustering job:
+    #: ``graph`` is then the *base* graph and the run clusters the
+    #: patched graph, warm-starting from the base job's cached labels
+    #: when available.  Unlike the knobs above, the delta changes the
+    #: answer, so it enters the cache key.
+    delta: dict | None = None
 
     def __post_init__(self):
         if self.mode not in JOB_MODES:
@@ -137,8 +154,28 @@ class JobSpec:
         except (TypeError, ValueError) as exc:
             raise ServiceError(f"bad job config: {exc}") from None
 
+    def load_delta(self, matrix):
+        """Materialize the job's :class:`~repro.locality.GraphDelta`."""
+        if self.delta is None:
+            return None
+        from ..locality import GraphDelta
+        from ..errors import LocalityError
+
+        try:
+            return GraphDelta.from_payload(matrix.ncols, self.delta)
+        except (LocalityError, TypeError, ValueError, IndexError) as exc:
+            raise ServiceError(f"bad job delta: {exc}") from None
+
     def cache_key(self, matrix=None) -> str:
         """The job's result-cache key (loads the graph unless given)."""
         if matrix is None:
             matrix, _ = self.load_graph()
+        return job_cache_key(
+            matrix, self.build_config(), self.build_options(),
+            delta=self.load_delta(matrix),
+        )
+
+    def base_cache_key(self, matrix) -> str:
+        """The key of the *base* job this delta job would warm-start from
+        (this job's own key with the delta component dropped)."""
         return job_cache_key(matrix, self.build_config(), self.build_options())

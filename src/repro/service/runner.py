@@ -142,6 +142,29 @@ class ServiceRunner:
             )
             return "cache-hit"
 
+        warm = None
+        if spec.delta is not None:
+            try:
+                delta = spec.load_delta(matrix)
+                base = self.service.cache.get(spec.base_cache_key(matrix))
+                if base is not None and len(base.labels) == matrix.ncols:
+                    # Warm start: keep the base graph, let the driver
+                    # apply the delta and re-cluster only the touched
+                    # components (labels identical to the cold run).
+                    import numpy as _np
+
+                    from ..locality import WarmStart
+
+                    warm = WarmStart(
+                        _np.asarray(base.labels, dtype=_np.int64), delta
+                    )
+                else:
+                    # No memoized base: cold run on the patched graph.
+                    matrix = delta.apply(matrix)
+            except ReproError as exc:
+                state = self.queue.fail(job.id, self.worker_id, str(exc))
+                return f"failed-spec:{state}"
+
         nbytes = job_memory_bytes(matrix, config)
         if not self.admission.admit(job.id, nbytes):
             self.queue.release(
@@ -169,7 +192,8 @@ class ServiceRunner:
 
         try:
             result = self._run_with_resume(
-                job, spec, matrix, options, config, tracer, on_iteration
+                job, spec, matrix, options, config, tracer, on_iteration,
+                warm=warm,
             )
         except _LeaseLost:
             # The job was requeued from under us (we looked dead).  The
@@ -202,7 +226,8 @@ class ServiceRunner:
         return "done"
 
     def _run_with_resume(
-        self, job, spec, matrix, options, config, tracer, on_iteration
+        self, job, spec, matrix, options, config, tracer, on_iteration,
+        warm=None,
     ):
         """Run the driver, resuming from the newest *valid* checkpoint.
 
@@ -238,6 +263,8 @@ class ServiceRunner:
                         else self.overlap
                     ),
                     merge_impl=spec.merge_impl or self.merge_impl,
+                    reorder=spec.reorder,
+                    warm_start=warm,
                     trace=tracer,
                     on_iteration=on_iteration,
                 )

@@ -1,0 +1,59 @@
+"""Wall-clock gates for the locality engine (``tier2_locality``).
+
+Two claims with teeth:
+
+* warm-starting from a cached clustering beats a cold rerun by >= 2x on
+  a localized delta (serial, so it holds on any box);
+* the ``community`` reordering beats ``none`` by >= 1.15x at 4 workers
+  on a sweep net — this one measures parallel memory locality, so it is
+  gated on having >= 4 usable cores (CI boxes with fewer skip it).
+
+Both use best-of-N attempt loops: wall-clock is noisy, and the claim is
+"the speedup is achievable", not "every sample clears the bar".
+"""
+
+import os
+
+import pytest
+
+from repro.bench.perfbench import bench_delta_rerun, bench_locality_cell
+
+pytestmark = pytest.mark.tier2_locality
+
+USABLE_CORES = len(os.sched_getaffinity(0))
+needs_cores = pytest.mark.skipif(
+    USABLE_CORES < 4,
+    reason=f"reordering sweep needs >= 4 usable cores, have {USABLE_CORES}",
+)
+
+ATTEMPTS = 3
+
+
+def test_warm_start_beats_cold_rerun_2x():
+    best = 0.0
+    for _ in range(ATTEMPTS):
+        row = bench_delta_rerun()
+        assert row["warm"]["dirty_fraction"] < 0.5
+        best = max(best, row["warm"]["speedup"])
+        if best >= 2.0:
+            break
+    assert best >= 2.0, (
+        f"warm-start speedup {best:.2f}x < 2x over cold rerun "
+        f"(best of {ATTEMPTS})"
+    )
+
+
+@needs_cores
+@pytest.mark.parametrize("net", ["eukarya-xs", "islands-xs"])
+def test_community_reordering_beats_none_at_4_workers(net):
+    best = 0.0
+    for _ in range(ATTEMPTS):
+        none = bench_locality_cell(net, "none", 4)
+        community = bench_locality_cell(net, "community", 4)
+        best = max(best, none["seconds"] / community["seconds"])
+        if best >= 1.15:
+            break
+    assert best >= 1.15, (
+        f"community reordering only {best:.2f}x vs none on {net} at 4 "
+        f"workers (best of {ATTEMPTS})"
+    )

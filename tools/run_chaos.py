@@ -77,6 +77,19 @@ def main(argv=None) -> int:
         "with r | sqrt(nodes); default auto)",
     )
     parser.add_argument(
+        "--reorder", choices=["degree", "rcm", "community"], default=None,
+        help="arm this locality reordering for the *faulted* runs only "
+        "(the baseline stays unreordered), so a pass also certifies the "
+        "layout engine's bit-identity under fault recovery",
+    )
+    parser.add_argument(
+        "--delta", type=float, default=None, metavar="FRACTION",
+        help="incremental-reclustering sweep: each plan draws a seeded "
+        "edge delta touching FRACTION of the edges, warm-starts from "
+        "the baseline labels *under faults*, and must match a "
+        "fault-free cold run on the patched graph",
+    )
+    parser.add_argument(
         "--service", action="store_true",
         help="kill/restart mode: run each plan through the clustering "
         "service, killing the runner at seeded iteration boundaries and "
@@ -129,11 +142,16 @@ def main(argv=None) -> int:
 
     if args.service:
         return _service_sweep(args, entry, baseline)
+    if args.delta is not None:
+        return _delta_sweep(args, net, opts, cfg, baseline)
 
     failures = 0
     for seed in range(args.seed0, args.seed0 + args.plans):
         plan = FaultPlan.chaos(seed, intensity=args.intensity)
-        res = hipmcl(net.matrix, opts, cfg, faults=plan, workers=args.workers)
+        res = hipmcl(
+            net.matrix, opts, cfg, faults=plan, workers=args.workers,
+            reorder=args.reorder,
+        )
         injected = sum(res.faults_injected.values())
         diffs = divergence(baseline, res)
         slowdown = (
@@ -163,6 +181,56 @@ def main(argv=None) -> int:
         )
         return 1
     print(f"OK: {args.plans} fault plans, all bit-identical to baseline")
+    return 0
+
+
+def _delta_sweep(args, net, opts, cfg, baseline) -> int:
+    """Warm-start-under-faults sweep.
+
+    Per plan: a seeded edge delta patches the graph; the reference is a
+    *fault-free cold* run on the patched graph; the subject warm-starts
+    from the unpatched baseline's labels with the plan's faults (and
+    ``--reorder``/``--workers``, when given) armed.  Labels must match
+    bit-for-bit — trajectories are not compared (the warm run's history
+    covers only the dirty components).
+    """
+    import numpy as np
+
+    from repro.locality import WarmStart, random_delta
+
+    base_labels = np.asarray(baseline.labels, dtype=np.int64)
+    failures = 0
+    for seed in range(args.seed0, args.seed0 + args.plans):
+        delta = random_delta(net.matrix, args.delta, seed)
+        cold = hipmcl(delta.apply(net.matrix), opts, cfg)
+        plan = FaultPlan.chaos(seed, intensity=args.intensity)
+        warm = hipmcl(
+            net.matrix, opts, cfg,
+            warm_start=WarmStart(base_labels, delta),
+            faults=plan, workers=args.workers, reorder=args.reorder,
+        )
+        injected = sum(warm.faults_injected.values())
+        same = np.array_equal(np.asarray(warm.labels), np.asarray(cold.labels))
+        status = "ok" if same else "DIVERGED"
+        print(
+            f"plan seed={seed}: delta {delta.num_edges} edges, "
+            f"{injected} faults injected, warm {warm.iterations} iters "
+            f"vs cold {cold.iterations} ... {status}"
+        )
+        if not same:
+            failures += 1
+            print("    warm-start labels differ from the cold patched run")
+    if failures:
+        print(
+            f"FAIL: {failures}/{args.plans} delta plans diverged from "
+            "their cold patched baselines",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: {args.plans} delta plans, warm-start labels all match the "
+        "cold patched runs"
+    )
     return 0
 
 

@@ -5,11 +5,12 @@ The gate watches the execution-backend subsystems — ``src/repro/parallel/``,
 ``src/repro/summa/`` (including ``repro.summa.engine3d``, the split-3D
 charge model behind ``--grid 3d`` and its hybrid transport selector),
 ``src/repro/trace/``, ``src/repro/merge/``,
-``src/repro/service/`` and ``src/repro/mpi/`` — because those are the
-layers where an untested branch means a silently wrong schedule (or a
-silently wrong merge, a silently lost job, a silently uncharged
-link, or a transport decision charged to the wrong clocks) rather
-than a loud crash.  The
+``src/repro/service/``, ``src/repro/mpi/`` and ``src/repro/locality/``
+(the reordering layouts and incremental warm-start engine) — because
+those are the layers where an untested branch means a silently wrong
+schedule (or a silently wrong merge, a silently lost job, a silently
+uncharged link, a transport decision charged to the wrong clocks, or a
+stale clustering served as fresh) rather than a loud crash.  The
 source list and the ``fail_under`` floor are committed in
 ``pyproject.toml`` under ``[tool.coverage.run]`` / ``[tool.coverage.report]``;
 this script just drives the run:
@@ -89,8 +90,8 @@ def main(argv=None) -> int:
     if report.returncode != 0:
         print(
             "coverage gate: repro.parallel/repro.summa/repro.trace/"
-            "repro.merge/repro.service/repro.mpi coverage is below the "
-            "committed "
+            "repro.merge/repro.service/repro.mpi/repro.locality coverage "
+            "is below the committed "
             "floor (see [tool.coverage.report] in pyproject.toml)",
             file=sys.stderr,
         )

@@ -3,7 +3,7 @@
 
 Record a new baseline (writes BENCH_PR<k>.json at the repo root):
 
-    PYTHONPATH=src python tools/run_perfbench.py --pr 9
+    PYTHONPATH=src python tools/run_perfbench.py --pr 10
 
 Gate a change against the committed baseline (exit 1 on >25 % slowdown):
 
@@ -43,16 +43,16 @@ from repro.bench.perfbench import (  # noqa: E402
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
-        "--pr", type=int, default=9,
-        help="PR number k for the BENCH_PR<k>.json output name (default 9)",
+        "--pr", type=int, default=10,
+        help="PR number k for the BENCH_PR<k>.json output name (default 10)",
     )
     parser.add_argument(
         "--output", type=Path, default=None,
         help="explicit output path (overrides --pr)",
     )
     parser.add_argument(
-        "--baseline", type=Path, default=ROOT / "BENCH_PR8.json",
-        help="baseline report to compare against (default BENCH_PR8.json)",
+        "--baseline", type=Path, default=ROOT / "BENCH_PR9.json",
+        help="baseline report to compare against (default BENCH_PR9.json)",
     )
     parser.add_argument(
         "--workers", default=None, metavar="N",
@@ -83,6 +83,11 @@ def main(argv=None) -> int:
         "--no-grid", action="store_true",
         help="skip the process-grid sweep (ten extra end-to-end runs "
         "over net x {2d,3d} x workers plus broadcast-only 3d cells)",
+    )
+    parser.add_argument(
+        "--no-locality", action="store_true",
+        help="skip the locality sweep and the delta-rerun pair (twelve "
+        "reordering cells plus three islands-net runs)",
     )
     parser.add_argument(
         "--check", action="store_true",
@@ -124,6 +129,7 @@ def main(argv=None) -> int:
         overlap=args.overlap,
         pipeline=not args.no_pipeline,
         grid_sweep=not args.no_grid,
+        locality=not args.no_locality,
     )
 
     out = args.output
@@ -136,7 +142,16 @@ def main(argv=None) -> int:
     if not args.check:
         return 0
 
-    rows = compare_reports(report, baseline)
+    def warn(msg):
+        print(f"warning: {msg}", file=sys.stderr)
+
+    try:
+        rows = compare_reports(report, baseline, warn=warn)
+    except BaselineError as exc:
+        # A malformed row names the offending entry and the report's
+        # schema instead of surfacing a bare KeyError traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not rows:
         print(
             f"error: baseline {args.baseline} shares no benchmark names "
